@@ -1,0 +1,63 @@
+"""Ablation `abl-capacity`: node capacity (page size) sweep.
+
+Larger nodes pack more entries per page (fewer, fatter pages - good for
+scans of the tree) but coarsen the pruning granularity.  This bench
+sweeps directory/leaf capacities and reports build and query costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DCTree, DCTreeConfig, TPCDGenerator, make_tpcd_schema
+from repro.bench.ablations import ablation_capacity
+from repro.bench.reporting import format_table
+
+CAPACITIES = ((8, 16), (16, 64), (32, 128))
+
+
+def _build(dir_capacity, leaf_capacity):
+    schema = make_tpcd_schema()
+    records = TPCDGenerator(schema, seed=0, scale_records=1500).generate(1500)
+
+    def build():
+        tree = DCTree(
+            schema,
+            config=DCTreeConfig(
+                dir_capacity=dir_capacity, leaf_capacity=leaf_capacity
+            ),
+        )
+        for record in records:
+            tree.insert(record)
+        return tree
+
+    return build
+
+
+@pytest.mark.benchmark(group="abl-capacity-build")
+@pytest.mark.parametrize("dir_capacity,leaf_capacity", CAPACITIES)
+def test_build_at_capacity(benchmark, dir_capacity, leaf_capacity):
+    tree = benchmark.pedantic(
+        _build(dir_capacity, leaf_capacity), rounds=2, iterations=1
+    )
+    tree.check_invariants()
+
+
+@pytest.mark.benchmark(group="abl-capacity-table")
+def test_ablation_capacity_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: ablation_capacity(
+            n_records=2000, n_queries=20, capacities=CAPACITIES
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("dir/leaf capacity", "build [s]", "query wall [s]",
+             "query sim [s]", "nodes/query", "height"),
+            rows,
+            title="Ablation: node capacity sweep (DC-tree)",
+        ))
+    # Bigger nodes -> fewer nodes per query (coarser tree).
+    assert rows[-1][4] <= rows[0][4] * 1.5

@@ -1,0 +1,62 @@
+"""Ablation `abl-measures`: the value of materialized aggregates.
+
+The same DC-tree answers the same query batch twice: once using the
+measure summaries stored in directory entries (containment short-cut of
+Fig. 7) and once forced to descend to the data nodes.  Quantifies the
+contribution of the paper's materialization idea in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import ablation_measures
+from repro.bench.reporting import format_table
+
+
+def _query_batch(tree, queries):
+    def run():
+        for query in queries:
+            tree.range_query(query.mds)
+
+    return run
+
+
+@pytest.mark.benchmark(group="abl-measures")
+def test_queries_with_aggregates(benchmark, built_dc_tree, query_batches):
+    built_dc_tree.config.use_materialized_aggregates = True
+    benchmark(_query_batch(built_dc_tree, query_batches[0.25]))
+
+
+@pytest.mark.benchmark(group="abl-measures")
+def test_queries_without_aggregates(benchmark, built_dc_tree, query_batches):
+    built_dc_tree.config.use_materialized_aggregates = False
+    try:
+        benchmark(_query_batch(built_dc_tree, query_batches[0.25]))
+    finally:
+        built_dc_tree.config.use_materialized_aggregates = True
+
+
+@pytest.mark.benchmark(group="abl-measures-table")
+def test_ablation_measures_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: ablation_measures(
+            n_records=2000, n_queries=20, selectivity=0.25
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("workload", "aggregates", "query wall [s]", "query sim [s]",
+             "nodes/query"),
+            rows,
+            title="Ablation: materialized measures on vs off (same tree)",
+        ))
+    for on, off in (rows[0:2], rows[2:4]):
+        # Disabling the aggregates can never reduce the nodes a query reads.
+        assert off[4] >= on[4]
+    # On the drill-down workload the aggregates save work (weakly at
+    # bench scale; see EXPERIMENTS.md for the discussion).
+    drill_on, drill_off = rows[2], rows[3]
+    assert drill_off[4] >= drill_on[4]

@@ -1,0 +1,65 @@
+"""Ablation `abl-split`: quadratic hierarchy split vs linear variant.
+
+The paper's future work calls for "alternative split algorithms ... which
+have less than quadratic cost but nevertheless yield reasonably good
+splits".  The linear variant picks seeds in one pass and assigns entries
+in input order; this bench compares build cost and the query quality of
+the resulting trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DCTree, DCTreeConfig, TPCDGenerator, make_tpcd_schema
+from repro.bench.ablations import ablation_split
+from repro.bench.reporting import format_table
+
+
+def _build(split_algorithm):
+    schema = make_tpcd_schema()
+    records = TPCDGenerator(schema, seed=0, scale_records=1500).generate(1500)
+
+    def build():
+        tree = DCTree(
+            schema, config=DCTreeConfig(split_algorithm=split_algorithm)
+        )
+        for record in records:
+            tree.insert(record)
+        return tree
+
+    return build
+
+
+@pytest.mark.benchmark(group="abl-split-build")
+def test_build_with_quadratic_split(benchmark):
+    tree = benchmark.pedantic(_build("quadratic"), rounds=3, iterations=1)
+    tree.check_invariants()
+
+
+@pytest.mark.benchmark(group="abl-split-build")
+def test_build_with_linear_split(benchmark):
+    tree = benchmark.pedantic(_build("linear"), rounds=3, iterations=1)
+    tree.check_invariants()
+
+
+@pytest.mark.benchmark(group="abl-split-table")
+def test_ablation_split_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: ablation_split(n_records=2000, n_queries=20),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("split", "build [s]", "query wall [s]", "query sim [s]",
+             "nodes/query", "height"),
+            rows,
+            title="Ablation: quadratic vs linear hierarchy split",
+        ))
+    quadratic, linear = rows
+    # The linear split builds faster ...
+    assert linear[1] < quadratic[1]
+    # ... while query quality stays within 2.5x of the quadratic split
+    # ("reasonably good splits").
+    assert linear[3] < 2.5 * quadratic[3]

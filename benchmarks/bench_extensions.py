@@ -1,0 +1,106 @@
+"""Extension experiments: motivation, static views, bulk load, hybrid.
+
+Each prints its paper-style table (so `pytest benchmarks/
+--benchmark-only` regenerates every experiment in one run) and asserts
+the qualitative claims recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggview.advisor import recommend_views
+from repro.aggview.hybrid import HybridWarehouse
+from repro.bench.aggview_bench import run_aggview
+from repro.bench.bulkload_bench import run_bulkload
+from repro.bench.motivation import run_motivation
+from repro.bench.reporting import format_table
+from repro.core.bulkload import bulk_load
+
+
+@pytest.mark.benchmark(group="ext-motivation")
+def test_motivation_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: run_motivation(n_updates=1500, query_every=50, windows=3),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("regime", "mean staleness", "max staleness", "downtime [s]",
+             "downtime sim [s]", "update wall [s]", "query wall [s]"),
+            rows,
+            title="Motivation: dynamic DC-tree vs bulk-updated warehouse",
+        ))
+    dynamic, batch = rows
+    assert dynamic[1] == 0 and dynamic[4] == 0
+    assert batch[1] > 0 and batch[4] > 0
+
+
+@pytest.mark.benchmark(group="ext-aggview")
+def test_aggview_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: run_aggview(n_records=1500, n_queries=30),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("backend", "answerable", "sim [s]/answerable query",
+             "sim [s]/update"),
+            rows,
+            title="Static materialization vs DC-tree",
+        ))
+    tree_row, view_row = rows
+    assert view_row[1] != "100%"
+    assert view_row[3] > tree_row[3]  # one update costs the view more
+
+
+@pytest.mark.benchmark(group="ext-bulkload")
+def test_bulkload_table(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: run_bulkload(n_records=3000, n_queries=20),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("build method", "build wall [s]", "build sim [s]",
+             "query sim [s]", "misses/query", "height", "pages"),
+            rows,
+            title="Insertion vs bottom-up bulk build",
+        ))
+    inserted, bulk = rows
+    assert bulk[2] < inserted[2]  # bulk build far cheaper in sim time
+    assert bulk[4] <= inserted[4] * 1.5  # query quality comparable+
+
+
+@pytest.mark.benchmark(group="ext-hybrid")
+def test_hybrid_router(benchmark, capsys):
+    """View-covered queries get cheaper through the hybrid router."""
+    from repro import TPCDGenerator, Warehouse, make_tpcd_schema
+    from repro.workload.queries import QueryGenerator
+
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=0, scale_records=2000)
+    records = generator.generate(2000)
+    warehouse = Warehouse.wrap(bulk_load(schema, records))
+    workload = list(QueryGenerator(schema, 0.2, seed=1).queries(40))
+    picks = recommend_views(
+        schema, workload, cell_budget=5000, k=2, records=records
+    )
+    hybrid = HybridWarehouse(warehouse, [p.levels for p in picks])
+
+    def run_workload():
+        for query in workload:
+            hybrid.execute(query)
+
+    benchmark(run_workload)
+    with capsys.disabled():
+        print()
+        print(
+            "hybrid router: %.0f%% of queries served by %d views (%r)"
+            % (hybrid.stats.view_fraction * 100, len(hybrid.views),
+               [list(p.levels) for p in picks])
+        )
+    assert hybrid.stats.via_view > 0

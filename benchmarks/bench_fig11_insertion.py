@@ -1,0 +1,102 @@
+"""Figure 11: insertion time (DC-tree vs X-tree, plus per-record cost).
+
+Timing benchmarks measure single-record insertion into a pre-built index
+of BENCH_RECORDS records (the steady-state cost an always-on warehouse
+pays per update); the printed tables regenerate Fig. 11(a)/(b) from the
+shared sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DCTree, TPCDGenerator, XTree, make_tpcd_schema
+from repro.bench.fig11 import fig11a_rows, fig11b_rows
+from repro.bench.reporting import format_table
+
+
+def _insert_benchmark(benchmark, index_factory):
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=0, scale_records=2000)
+    index = index_factory(schema)
+    for record in generator.records(2000):
+        index.insert(record)
+    fresh = iter(generator.records(100000))
+
+    def insert_one():
+        index.insert(next(fresh))
+
+    benchmark(insert_one)
+
+
+@pytest.mark.benchmark(group="fig11-insert-one")
+def test_fig11_dc_tree_single_insert(benchmark):
+    """Steady-state single-record insert into a 2k-record DC-tree."""
+    _insert_benchmark(benchmark, lambda schema: DCTree(schema))
+
+
+@pytest.mark.benchmark(group="fig11-insert-one")
+def test_fig11_x_tree_single_insert(benchmark):
+    """Steady-state single-record insert into a 2k-record X-tree."""
+    _insert_benchmark(benchmark, lambda schema: XTree(schema))
+
+
+@pytest.mark.benchmark(group="fig11-bulk-build")
+def test_fig11_dc_tree_build_1000(benchmark):
+    """Total insertion time for 1000 records (Fig. 11a, one point)."""
+    schema = make_tpcd_schema()
+    records = TPCDGenerator(schema, seed=1, scale_records=1000).generate(1000)
+
+    def build():
+        tree = DCTree(schema)
+        for record in records:
+            tree.insert(record)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig11-bulk-build")
+def test_fig11_x_tree_build_1000(benchmark):
+    schema = make_tpcd_schema()
+    records = TPCDGenerator(schema, seed=1, scale_records=1000).generate(1000)
+
+    def build():
+        tree = XTree(schema)
+        for record in records:
+            tree.insert(record)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig11-tables")
+def test_fig11_tables(benchmark, paper_sweep, capsys):
+    """Print the Fig. 11(a)/(b) tables and assert the paper's shapes."""
+    rows_a = benchmark(lambda: fig11a_rows(paper_sweep))
+    rows_b = fig11b_rows(paper_sweep)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("records", "DC-tree [s]", "X-tree [s]",
+             "DC-tree sim [s]", "X-tree sim [s]"),
+            rows_a,
+            title="Figure 11(a): total insertion time (cumulative)",
+        ))
+        print()
+        print(format_table(
+            ("records", "DC-tree per-record [s]"),
+            rows_b,
+            title="Figure 11(b): DC-tree insertion time per data record",
+        ))
+
+    # Shape: insertion time grows with the data set for both trees ...
+    assert rows_a[-1][1] > rows_a[0][1]
+    assert rows_a[-1][2] > rows_a[0][2]
+    # ... and the X-tree's simulated insert cost stays below the DC-tree's
+    # (it maintains no concept hierarchies or materialized measures).
+    assert rows_a[-1][4] < rows_a[-1][3]
+    # Fig. 11(b): per-record insertion stays small (well under 0.25 s even
+    # in simulated 1999-hardware terms the paper reports).
+    for _n, per_record in rows_b:
+        assert per_record < 0.25

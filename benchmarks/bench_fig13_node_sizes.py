@@ -1,0 +1,47 @@
+"""Figure 13: DC-tree node sizes of the levels below the root.
+
+The timing benchmark measures the statistics collection itself (cheap);
+the substance is the printed table and its shape assertions: supernodes
+accumulate in the directory level directly below the root and its average
+entry count grows with the data set, while deeper levels stay near the
+regular node capacity — the effect §5.3 discusses and leaves to future
+work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fig13 import fig13_rows
+from repro.bench.reporting import format_table
+from repro.core.stats import collect_stats
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_collect_stats(benchmark, built_dc_tree):
+    stats = benchmark(lambda: collect_stats(built_dc_tree))
+    assert stats.n_records == len(built_dc_tree)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_table(benchmark, paper_sweep, capsys):
+    rows = benchmark(lambda: fig13_rows(paper_sweep))
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ("records", "highest level [entries]", "2nd highest [entries]",
+             "supernodes", "tree height"),
+            rows,
+            title="Figure 13: average node sizes per level below the root",
+        ))
+
+    # The supernode level's average entry count grows with the data set.
+    growing_level = [row[1] for row in rows]
+    assert growing_level[-1] > growing_level[0]
+    # Supernodes exist and multiply (the paper's central Fig. 13 point).
+    supernodes = [row[3] for row in rows]
+    assert supernodes[-1] >= supernodes[0] >= 1
+    # The level below it (the data nodes here) stays near its capacity
+    # instead of growing with the data set.
+    stable_level = [row[2] for row in rows]
+    assert stable_level[-1] < 1.5 * max(stable_level[0], 1.0)

@@ -1,0 +1,70 @@
+"""Persistence and flat-file I/O benchmarks.
+
+Operational costs a deployment cares about: snapshotting a warehouse,
+resuming from a snapshot (structure-preserving, no re-splits), and
+reading/writing the flat insert file of §5.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TPCDGenerator, Warehouse, make_tpcd_schema
+from repro.core.bulkload import bulk_load
+from repro.persist import warehouse_from_dict, warehouse_to_dict
+from repro.tpcd.flatfile import read_flatfile, write_flatfile
+
+BENCH_RECORDS = 2000
+
+
+@pytest.fixture(scope="module")
+def loaded_warehouse():
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=0, scale_records=BENCH_RECORDS)
+    return Warehouse.wrap(
+        bulk_load(schema, generator.generate(BENCH_RECORDS))
+    )
+
+
+@pytest.mark.benchmark(group="persist")
+def test_snapshot_warehouse(benchmark, loaded_warehouse):
+    data = benchmark(lambda: warehouse_to_dict(loaded_warehouse))
+    assert data["meta"]["records"] == BENCH_RECORDS
+
+
+@pytest.mark.benchmark(group="persist")
+def test_resume_warehouse(benchmark, loaded_warehouse):
+    data = warehouse_to_dict(loaded_warehouse)
+    restored = benchmark(lambda: warehouse_from_dict(data))
+    assert len(restored) == BENCH_RECORDS
+    restored.index.check_invariants()
+
+
+@pytest.mark.benchmark(group="flatfile")
+def test_write_flatfile(benchmark, loaded_warehouse, tmp_path_factory):
+    root = tmp_path_factory.mktemp("flat")
+    records = list(loaded_warehouse.index.records())
+
+    counter = iter(range(10**6))
+
+    def write():
+        path = root / ("out%d.tbl" % next(counter))
+        return write_flatfile(path, loaded_warehouse.schema, records)
+
+    assert benchmark(write) == BENCH_RECORDS
+
+
+@pytest.mark.benchmark(group="flatfile")
+def test_read_flatfile(benchmark, loaded_warehouse, tmp_path_factory):
+    root = tmp_path_factory.mktemp("flat")
+    path = root / "in.tbl"
+    write_flatfile(
+        path, loaded_warehouse.schema,
+        loaded_warehouse.index.records(),
+    )
+
+    def read():
+        _schema, records = read_flatfile(path)
+        return records
+
+    assert len(benchmark(read)) == BENCH_RECORDS

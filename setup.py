@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires PEP 660 editable-wheel support; fully offline
+environments without `wheel` can use `python setup.py develop` instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,174 @@
+"""Hybrid warehouse: materialized views in front of a dynamic DC-tree.
+
+The practical synthesis of the paper's §1: keep the fully dynamic
+DC-tree as the always-correct base, and route queries through
+materialized aggregate views where one covers them.  Updates go to the
+tree immediately (no staleness for correctness) and merely *invalidate*
+the views; stale views are rebuilt lazily from the tree's records the
+next time they would be used — or eagerly via :meth:`refresh`.
+
+Every answer is exact: a stale or non-covering view is simply bypassed.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from ..warehouse import Warehouse
+from ..workload.queries import query_from_labels
+from .view import MaterializedAggregateView
+
+
+class RouterStats:
+    """Where the hybrid answered its queries, and what refreshes cost."""
+
+    def __init__(self):
+        self.via_view = 0
+        self.via_tree = 0
+        self.refreshes = 0
+
+    @property
+    def total(self):
+        return self.via_view + self.via_tree
+
+    @property
+    def view_fraction(self):
+        return self.via_view / self.total if self.total else 0.0
+
+    def __repr__(self):
+        return "RouterStats(view=%d, tree=%d, refreshes=%d)" % (
+            self.via_view, self.via_tree, self.refreshes,
+        )
+
+
+class HybridWarehouse:
+    """A DC-tree warehouse fronted by zero or more aggregate views.
+
+    Parameters
+    ----------
+    warehouse:
+        The base :class:`Warehouse`; must use the dc-tree backend (the
+        views are rebuilt from its record iterator).
+    view_levels:
+        Iterable of per-dimension level tuples, one per view (e.g. the
+        output of :func:`repro.aggview.advisor.recommend_views`).
+    lazy_refresh:
+        When True (default) a stale view that *would* cover a query is
+        rebuilt on the spot and then used; when False stale views are
+        bypassed until :meth:`refresh` is called.
+    incremental:
+        When True (default) updates are folded into the views cell-wise
+        (:meth:`MaterializedAggregateView.apply_insert` /
+        ``apply_delete``) so they stay fresh without rebuilds; a delete
+        that invalidates a cell's MIN/MAX falls back to staleness.  When
+        False every update marks all views stale ([7]'s purely static
+        behaviour).
+    """
+
+    def __init__(self, warehouse, view_levels=(), lazy_refresh=True,
+                 incremental=True):
+        if warehouse.backend != "dc-tree":
+            raise SchemaError(
+                "HybridWarehouse needs a dc-tree base, got %r"
+                % warehouse.backend
+            )
+        self.warehouse = warehouse
+        self.lazy_refresh = lazy_refresh
+        self.incremental = incremental
+        self.views = [
+            MaterializedAggregateView(warehouse.schema, levels)
+            for levels in view_levels
+        ]
+        self.stats = RouterStats()
+        for view in self.views:
+            self._rebuild(view)
+
+    @property
+    def schema(self):
+        return self.warehouse.schema
+
+    def __len__(self):
+        return len(self.warehouse)
+
+    # ------------------------------------------------------------------
+    # updates: tree first, views invalidated
+    # ------------------------------------------------------------------
+
+    def insert(self, dimension_values, measures):
+        record = self.warehouse.insert(dimension_values, measures)
+        self._propagate_insert(record)
+        return record
+
+    def insert_record(self, record):
+        self.warehouse.insert_record(record)
+        self._propagate_insert(record)
+        return record
+
+    def delete(self, record):
+        self.warehouse.delete(record)
+        self._propagate_delete(record)
+
+    def _propagate_insert(self, record):
+        for view in self.views:
+            if self.incremental and not view.is_stale:
+                view.apply_insert(record)
+            else:
+                view.mark_stale()
+
+    def _propagate_delete(self, record):
+        for view in self.views:
+            if self.incremental and not view.is_stale:
+                view.apply_delete(record)  # may self-mark stale (min/max)
+            else:
+                view.mark_stale()
+
+    # ------------------------------------------------------------------
+    # refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self):
+        """Rebuild every stale view now; returns how many were rebuilt."""
+        rebuilt = 0
+        for view in self.views:
+            if view.is_stale:
+                self._rebuild(view)
+                rebuilt += 1
+        return rebuilt
+
+    def _rebuild(self, view):
+        view.build(list(self.warehouse.index.records()))
+        self.stats.refreshes += 1
+
+    # ------------------------------------------------------------------
+    # queries: route through the cheapest exact path
+    # ------------------------------------------------------------------
+
+    def query(self, op="sum", measure=0, where=None):
+        """Label-based aggregate, answered by a covering view when one is
+        available (and fresh, or lazily refreshable); the DC-tree
+        otherwise."""
+        range_query = query_from_labels(self.schema, where or {})
+        return self.execute(range_query, op=op, measure=measure)
+
+    def execute(self, range_query, op="sum", measure=0):
+        view = self._route(range_query.mds)
+        if view is not None:
+            self.stats.via_view += 1
+            return view.range_query(range_query.mds, op=op, measure=measure)
+        self.stats.via_tree += 1
+        return self.warehouse.execute(range_query, op=op, measure=measure)
+
+    def _route(self, range_mds):
+        for view in self.views:
+            if not view.can_answer(range_mds):
+                continue
+            if view.is_stale:
+                if not self.lazy_refresh:
+                    continue
+                self._rebuild(view)
+            return view
+        return None
+
+    def __repr__(self):
+        return "HybridWarehouse(records=%d, views=%d, %r)" % (
+            len(self), len(self.views), self.stats,
+        )

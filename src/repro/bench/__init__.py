@@ -1,0 +1,27 @@
+"""Benchmark harness regenerating every table and figure of §5."""
+
+from .harness import (
+    PAPER_QUERIES,
+    PAPER_SELECTIVITIES,
+    PAPER_SIZES,
+    Checkpoint,
+    QueryMeasurement,
+    SweepResult,
+    cached_sweep,
+    execute_query,
+    make_backend,
+    run_combined_sweep,
+)
+
+__all__ = [
+    "Checkpoint",
+    "PAPER_QUERIES",
+    "PAPER_SELECTIVITIES",
+    "PAPER_SIZES",
+    "QueryMeasurement",
+    "SweepResult",
+    "cached_sweep",
+    "execute_query",
+    "make_backend",
+    "run_combined_sweep",
+]

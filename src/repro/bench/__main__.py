@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro.bench <experiment ...>``.
+
+Experiments: fig11a fig11b fig12a fig12b fig12c fig12d fig13
+             abl-split abl-measures abl-capacity abl-bulkload abl-order
+             motivation aggview verdict all
+
+Options:
+  --quick         small sizes/query counts (seconds instead of minutes)
+  --sizes A,B,C   checkpoint record counts (default 10000,20000,30000)
+  --queries N     queries per measurement (default 100)
+  --seed N        RNG seed (default 0)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    aggview_bench,
+    bulkload_bench,
+    fig11,
+    fig12,
+    fig13,
+    motivation,
+    verdict,
+    workload_bench,
+)
+
+_QUICK_SIZES = (1000, 2000, 4000)
+_QUICK_QUERIES = 20
+
+EXPERIMENTS = (
+    "fig11a", "fig11b", "fig12a", "fig12b", "fig12c", "fig12d", "fig13",
+    "abl-split", "abl-measures", "abl-capacity", "abl-bulkload",
+    "motivation", "aggview", "verdict", "abl-order",
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="experiment ids (or 'all')",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for a fast sanity run")
+    parser.add_argument("--sizes", type=_parse_sizes, default=None,
+                        help="comma-separated checkpoint sizes")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per measurement")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    experiments = list(args.experiments)
+    if "all" in experiments:
+        experiments = list(EXPERIMENTS)
+
+    sweep_kwargs = {"seed": args.seed}
+    if args.quick:
+        sweep_kwargs["sizes"] = _QUICK_SIZES
+        sweep_kwargs["n_queries"] = _QUICK_QUERIES
+    if args.sizes is not None:
+        sweep_kwargs["sizes"] = args.sizes
+    if args.queries is not None:
+        sweep_kwargs["n_queries"] = args.queries
+    sweep_kwargs["progress"] = lambda message: print(
+        "... %s" % message, file=sys.stderr
+    )
+
+    ablation_kwargs = {"seed": args.seed}
+    if args.quick:
+        ablation_kwargs["n_records"] = 2000
+        ablation_kwargs["n_queries"] = 10
+
+    for experiment in experiments:
+        print(_run(experiment, sweep_kwargs, ablation_kwargs))
+        print()
+    return 0
+
+
+def _run(experiment, sweep_kwargs, ablation_kwargs):
+    if experiment == "fig11a":
+        return fig11.report_fig11a(**sweep_kwargs)
+    if experiment == "fig11b":
+        return fig11.report_fig11b(**sweep_kwargs)
+    if experiment.startswith("fig12"):
+        return fig12.report_fig12(experiment[-1], **sweep_kwargs)
+    if experiment == "fig13":
+        return fig13.report_fig13(**sweep_kwargs)
+    if experiment == "abl-split":
+        return ablations.report_ablation_split(**ablation_kwargs)
+    if experiment == "abl-measures":
+        return ablations.report_ablation_measures(**ablation_kwargs)
+    if experiment == "abl-capacity":
+        return ablations.report_ablation_capacity(**ablation_kwargs)
+    if experiment == "motivation":
+        kwargs = {"seed": ablation_kwargs.get("seed", 0)}
+        if "n_records" in ablation_kwargs:  # --quick
+            kwargs["n_updates"] = ablation_kwargs["n_records"]
+        return motivation.report_motivation(**kwargs)
+    if experiment == "aggview":
+        return aggview_bench.report_aggview(**ablation_kwargs)
+    if experiment == "abl-bulkload":
+        return bulkload_bench.report_bulkload(**ablation_kwargs)
+    if experiment == "verdict":
+        return verdict.report_verdict(**sweep_kwargs)
+    if experiment == "abl-order":
+        return workload_bench.report_insert_order(**ablation_kwargs)
+    raise ValueError("unknown experiment %r" % experiment)
+
+
+def _parse_sizes(text):
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

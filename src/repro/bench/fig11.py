@@ -1,0 +1,62 @@
+"""Figure 11: insertion times.
+
+(a) total insertion time of the DC-tree vs the X-tree for 10k-30k records;
+(b) mean insertion time per data record for the DC-tree (the paper reports
+~0.25 s on 1999 hardware and argues it is flat enough to keep the
+warehouse permanently up to date).
+"""
+
+from __future__ import annotations
+
+from .harness import cached_sweep
+from .reporting import format_chart, format_table
+
+
+def fig11a_rows(sweep):
+    """Rows: records, DC-tree and X-tree cumulative insertion seconds."""
+    rows = []
+    for point in sweep.checkpoints:
+        rows.append(
+            (
+                point.n_records,
+                point.insert_seconds["dc-tree"],
+                point.insert_seconds["x-tree"],
+                point.insert_simulated["dc-tree"],
+                point.insert_simulated["x-tree"],
+            )
+        )
+    return rows
+
+
+def fig11b_rows(sweep):
+    """Rows: records, DC-tree seconds per single inserted record."""
+    return [
+        (point.n_records, point.per_record_seconds["dc-tree"])
+        for point in sweep.checkpoints
+    ]
+
+
+def report_fig11a(**sweep_kwargs):
+    sweep = cached_sweep(**sweep_kwargs)
+    rows = fig11a_rows(sweep)
+    table = format_table(
+        ("records", "DC-tree [s]", "X-tree [s]",
+         "DC-tree sim [s]", "X-tree sim [s]"),
+        rows,
+        title="Figure 11(a): total insertion time (cumulative)",
+    )
+    chart = format_chart(
+        [row[0] for row in rows],
+        {"DC-tree sim": [row[3] for row in rows],
+         "X-tree sim": [row[4] for row in rows]},
+    )
+    return table + "\n\n" + chart
+
+
+def report_fig11b(**sweep_kwargs):
+    sweep = cached_sweep(**sweep_kwargs)
+    return format_table(
+        ("records", "DC-tree per-record [s]"),
+        fig11b_rows(sweep),
+        title="Figure 11(b): DC-tree insertion time per data record",
+    )

@@ -1,0 +1,54 @@
+"""Figure 13: DC-tree node sizes of the two highest levels below the root.
+
+The paper observes that the node size (average number of entries) of the
+highest level below the root stabilizes around ~15 entries while the
+second-highest level grows roughly linearly with the data-set size —
+supernodes accumulate because directory MDSs become too special to split
+(≈2.5× the regular directory capacity at 30k records).
+"""
+
+from __future__ import annotations
+
+from .harness import cached_sweep
+from .reporting import format_chart, format_table
+
+
+def fig13_rows(sweep):
+    """Rows: records, avg entries at depth 1 and depth 2, supernode counts."""
+    rows = []
+    for point in sweep.checkpoints:
+        stats = point.dc_stats
+        highest = stats.highest_below_root()
+        second = stats.second_highest_below_root()
+        rows.append(
+            (
+                point.n_records,
+                highest.avg_entries if highest else 0.0,
+                second.avg_entries if second else 0.0,
+                stats.n_supernodes,
+                stats.height,
+            )
+        )
+    return rows
+
+
+def report_fig13(**sweep_kwargs):
+    sweep = cached_sweep(**sweep_kwargs)
+    rows = fig13_rows(sweep)
+    table = format_table(
+        (
+            "records",
+            "highest level [entries]",
+            "2nd highest [entries]",
+            "supernodes",
+            "tree height",
+        ),
+        rows,
+        title="Figure 13: average node sizes per level below the root",
+    )
+    chart = format_chart(
+        [row[0] for row in rows],
+        {"highest level": [row[1] for row in rows],
+         "2nd highest": [row[2] for row in rows]},
+    )
+    return table + "\n\n" + chart

@@ -1,0 +1,247 @@
+"""The experiment driver behind every figure of the evaluation (§5).
+
+One *combined sweep* reproduces the paper's whole measurement protocol in
+a single pass: the three backends are fed the same TPC-D record stream
+over one shared schema; at each checkpoint size (10k/20k/30k records in
+the paper) the harness records cumulative and per-record insertion times,
+then fires the random range-query batches for each selectivity (100
+queries of 1 %, 5 % and 25 % in the paper) against every backend with
+equalized buffer budgets, and profiles the DC-tree's node sizes per level.
+
+Figures 11, 12 and 13 are all slices of one :class:`SweepResult`, so
+``python -m repro.bench all`` pays for the expensive build exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import CostModel, DCTreeConfig, StorageConfig, XTreeConfig
+from ..core.stats import collect_stats
+from ..core.tree import DCTree
+from ..scan.table import FlatTable
+from ..storage.buffer import BufferPool
+from ..tpcd.generator import TPCDGenerator
+from ..tpcd.schema import make_tpcd_schema
+from ..workload.queries import QueryGenerator
+from ..xtree.tree import XTree
+
+#: Checkpoint sizes of the paper's sweep (Figs. 11-13).
+PAPER_SIZES = (10000, 20000, 30000)
+#: Query selectivities of the paper's sweep (Fig. 12).
+PAPER_SELECTIVITIES = (0.01, 0.05, 0.25)
+#: Queries averaged per measurement in the paper.
+PAPER_QUERIES = 100
+
+
+class QueryMeasurement:
+    """Average per-query costs of one (backend, selectivity) batch."""
+
+    __slots__ = ("wall_seconds", "node_accesses", "buffer_misses",
+                 "cpu_units", "simulated_seconds")
+
+    def __init__(self, wall_seconds, node_accesses, buffer_misses, cpu_units,
+                 simulated_seconds):
+        self.wall_seconds = wall_seconds
+        self.node_accesses = node_accesses
+        self.buffer_misses = buffer_misses
+        self.cpu_units = cpu_units
+        self.simulated_seconds = simulated_seconds
+
+    def __repr__(self):
+        return (
+            "QueryMeasurement(wall=%.4fs, nodes=%.1f, misses=%.1f, sim=%.4fs)"
+            % (self.wall_seconds, self.node_accesses, self.buffer_misses,
+               self.simulated_seconds)
+        )
+
+
+class Checkpoint:
+    """All measurements taken at one data-set size."""
+
+    def __init__(self, n_records):
+        self.n_records = n_records
+        #: backend -> cumulative insertion wall seconds since the start.
+        self.insert_seconds = {}
+        #: backend -> cumulative simulated insertion seconds.
+        self.insert_simulated = {}
+        #: backend -> mean wall seconds per single insert.
+        self.per_record_seconds = {}
+        #: (backend, selectivity) -> QueryMeasurement.
+        self.queries = {}
+        #: DC-tree TreeStats (Fig. 13) at this size.
+        self.dc_stats = None
+
+
+class SweepResult:
+    """Outcome of one combined sweep."""
+
+    def __init__(self, sizes, selectivities, n_queries, backends, seed):
+        self.sizes = tuple(sizes)
+        self.selectivities = tuple(selectivities)
+        self.n_queries = n_queries
+        self.backends = tuple(backends)
+        self.seed = seed
+        self.checkpoints = []
+
+    def checkpoint(self, n_records):
+        for point in self.checkpoints:
+            if point.n_records == n_records:
+                return point
+        raise KeyError("no checkpoint at %d records" % n_records)
+
+
+def make_backend(name, schema, dc_config=None, x_config=None,
+                 storage_config=None):
+    """Instantiate one index backend over ``schema``."""
+    if name == "dc-tree":
+        return DCTree(schema, config=dc_config, storage_config=storage_config)
+    if name == "x-tree":
+        return XTree(schema, config=x_config, storage_config=storage_config)
+    if name == "scan":
+        return FlatTable(schema, storage_config=storage_config)
+    raise ValueError("unknown backend %r" % name)
+
+
+def execute_query(backend_name, index, query, op="sum"):
+    """Run one :class:`RangeQuery` against any backend."""
+    if backend_name == "x-tree":
+        return index.range_query(query.to_mbr(), query.predicate(), op=op)
+    return index.range_query(query.mds, op=op)
+
+
+def run_combined_sweep(
+    sizes=PAPER_SIZES,
+    selectivities=PAPER_SELECTIVITIES,
+    n_queries=PAPER_QUERIES,
+    backends=("dc-tree", "x-tree", "scan"),
+    seed=0,
+    dc_config=None,
+    x_config=None,
+    cost_model=None,
+    buffer_fraction=0.25,
+    progress=None,
+):
+    """Run the paper's full measurement protocol; return a
+    :class:`SweepResult`.
+
+    ``buffer_fraction`` sizes every backend's LRU pool to that fraction of
+    the *DC-tree's* page footprint — the paper's memory-equalization rule
+    ("the main memory available for the X-tree was restricted to the
+    memory size that the DC-tree uses").
+    """
+    sizes = sorted(sizes)
+    model = cost_model if cost_model is not None else CostModel()
+    dc_config = dc_config if dc_config is not None else DCTreeConfig()
+    x_config = x_config if x_config is not None else XTreeConfig()
+    note = progress if progress is not None else (lambda message: None)
+
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=seed, scale_records=sizes[-1])
+    indexes = {
+        name: make_backend(name, schema, dc_config, x_config,
+                           StorageConfig(buffer_pages=0))
+        for name in backends
+    }
+    result = SweepResult(sizes, selectivities, n_queries, backends, seed)
+
+    inserted = 0
+    insert_wall = {name: 0.0 for name in backends}
+    insert_ios = {name: 0 for name in backends}
+    insert_cpu = {name: 0 for name in backends}
+    for checkpoint_size in sizes:
+        batch = generator.generate(checkpoint_size - inserted)
+        inserted = checkpoint_size
+        note("inserting up to %d records" % checkpoint_size)
+        for name in backends:
+            index = indexes[name]
+            # Inserts run against an unconstrained buffer; query phases
+            # swap in the equalized pool, so restore + reset here.
+            index.tracker.buffer = BufferPool(0)
+            index.tracker.reset()
+            start = time.perf_counter()
+            for record in batch:
+                index.insert(record)
+            insert_wall[name] += time.perf_counter() - start
+            stats = index.tracker.snapshot()
+            insert_ios[name] += stats.page_ios
+            insert_cpu[name] += stats.cpu_units
+
+        point = Checkpoint(checkpoint_size)
+        for name in backends:
+            point.insert_seconds[name] = insert_wall[name]
+            point.insert_simulated[name] = model.simulated_seconds(
+                insert_ios[name], insert_cpu[name]
+            )
+            point.per_record_seconds[name] = (
+                insert_wall[name] / checkpoint_size
+            )
+
+        if "dc-tree" in backends:
+            point.dc_stats = collect_stats(indexes["dc-tree"])
+
+        buffer_pages = _query_buffer_pages(
+            indexes, backends, buffer_fraction
+        )
+        for selectivity in selectivities:
+            note(
+                "querying %d records at selectivity %.0f%%"
+                % (checkpoint_size, selectivity * 100)
+            )
+            queries = list(
+                QueryGenerator(
+                    schema, selectivity, seed=seed + int(selectivity * 1000)
+                ).queries(n_queries)
+            )
+            for name in backends:
+                point.queries[(name, selectivity)] = _measure_queries(
+                    name, indexes[name], queries, buffer_pages, model
+                )
+        result.checkpoints.append(point)
+    return result
+
+
+def _query_buffer_pages(indexes, backends, buffer_fraction):
+    """The equalized buffer budget (pages) for the query phases."""
+    if "dc-tree" in backends:
+        reference = indexes["dc-tree"].page_count()
+    else:
+        reference = max(indexes[name].page_count() for name in backends)
+    return max(16, int(reference * buffer_fraction))
+
+
+def _measure_queries(backend_name, index, queries, buffer_pages, model):
+    """Run one query batch; return per-query averages."""
+    tracker = index.tracker
+    tracker.buffer = BufferPool(buffer_pages)
+    tracker.reset()
+    start = time.perf_counter()
+    for query in queries:
+        execute_query(backend_name, index, query)
+    wall = time.perf_counter() - start
+    stats = tracker.snapshot()
+    n = len(queries)
+    return QueryMeasurement(
+        wall_seconds=wall / n,
+        node_accesses=stats.node_accesses / n,
+        buffer_misses=stats.buffer_misses / n,
+        cpu_units=stats.cpu_units / n,
+        simulated_seconds=stats.simulated_seconds(model) / n,
+    )
+
+
+_SWEEP_CACHE = {}
+
+
+def cached_sweep(**kwargs):
+    """Memoized :func:`run_combined_sweep` so figures share one build."""
+    key = (
+        tuple(kwargs.get("sizes", PAPER_SIZES)),
+        tuple(kwargs.get("selectivities", PAPER_SELECTIVITIES)),
+        kwargs.get("n_queries", PAPER_QUERIES),
+        tuple(kwargs.get("backends", ("dc-tree", "x-tree", "scan"))),
+        kwargs.get("seed", 0),
+    )
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = run_combined_sweep(**kwargs)
+    return _SWEEP_CACHE[key]

@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (sequences of cells) as an aligned ASCII table."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return "%.1f" % cell
+        if abs(cell) >= 1:
+            return "%.2f" % cell
+        return "%.4f" % cell
+    return str(cell)
+
+
+def speedup(slow, fast):
+    """Human-facing speed-up factor ``slow / fast`` (None when undefined)."""
+    if fast <= 0:
+        return None
+    return slow / fast
+
+
+def format_speedup(value):
+    return "n/a" if value is None else "%.1fx" % value
+
+
+def format_chart(x_values, series, height=10, width=56, title=None):
+    """Render one or more y-series over shared x values as ASCII art.
+
+    ``series`` maps a label to its list of y values (same length as
+    ``x_values``).  Series are drawn with distinct markers on a shared
+    linear y axis — enough to eyeball the figures' shapes (who is above
+    whom, what grows, where lines cross) straight from the terminal.
+    """
+    markers = "*o+x#@"
+    labels = list(series)
+    all_values = [v for values in series.values() for v in values]
+    if not all_values or not x_values:
+        return "(no data)"
+    y_max = max(all_values)
+    y_min = min(0.0, min(all_values))
+    span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for index, label in enumerate(labels):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(series[label]):
+            column = (
+                int(round(i * (width - 1) / (n - 1))) if n > 1 else 0
+            )
+            row = height - 1 - int(round(
+                (value - y_min) / span * (height - 1)
+            ))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis_label = "%10.3g |" % y_max
+        elif row_index == height - 1:
+            axis_label = "%10.3g |" % y_min
+        else:
+            axis_label = "%10s |" % ""
+        lines.append(axis_label + "".join(row))
+    lines.append("%10s +%s" % ("", "-" * width))
+    lines.append(
+        "%10s  %-s%s" % ("", _fmt(x_values[0]),
+                         _fmt(x_values[-1]).rjust(width - len(
+                             _fmt(x_values[0])))))
+    legend = "   ".join(
+        "%s %s" % (markers[i % len(markers)], label)
+        for i, label in enumerate(labels)
+    )
+    lines.append("%10s  %s" % ("", legend))
+    return "\n".join(lines)

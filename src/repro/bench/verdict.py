@@ -1,0 +1,162 @@
+"""The reproduction scorecard: check every shape claim programmatically.
+
+EXPERIMENTS.md argues shapes, not absolute numbers; this module turns
+each claim into a predicate over a :class:`SweepResult` and prints a
+PASS/FAIL table — the whole reproduction judged in one command:
+
+    python -m repro.bench verdict
+
+The claims are calibrated for the paper's scale (the default
+10k/20k/30k sweep).  At toy scales some genuinely do not hold — e.g. a
+sequential scan beats any index on a few hundred records, and the
+supernode accretion of Fig. 13 needs enough records to show — so a FAIL
+on a ``--quick`` run is a statement about the scale, not the code.
+"""
+
+from __future__ import annotations
+
+from .fig11 import fig11a_rows, fig11b_rows
+from .fig12 import PANELS, fig12_rows
+from .fig13 import fig13_rows
+from .harness import cached_sweep
+from .reporting import format_table
+
+
+class Claim:
+    """One checkable shape claim."""
+
+    __slots__ = ("artifact", "statement", "passed", "detail")
+
+    def __init__(self, artifact, statement, passed, detail):
+        self.artifact = artifact
+        self.statement = statement
+        self.passed = passed
+        self.detail = detail
+
+    def row(self):
+        return (
+            self.artifact,
+            self.statement,
+            "PASS" if self.passed else "FAIL",
+            self.detail,
+        )
+
+
+def evaluate_claims(sweep):
+    """All shape claims of the paper's figures against one sweep."""
+    claims = []
+    claims.extend(_fig11_claims(sweep))
+    claims.extend(_fig12_claims(sweep))
+    claims.extend(_fig13_claims(sweep))
+    return claims
+
+
+def _fig11_claims(sweep):
+    rows = fig11a_rows(sweep)
+    dc = [row[3] for row in rows]  # simulated cumulative seconds
+    xt = [row[4] for row in rows]
+    yield_claims = []
+    yield_claims.append(Claim(
+        "fig11a",
+        "X-tree inserts cheaper than DC-tree (sim)",
+        xt[-1] < dc[-1],
+        "%.0f vs %.0f s at n=%d" % (xt[-1], dc[-1], rows[-1][0]),
+    ))
+    yield_claims.append(Claim(
+        "fig11a",
+        "insertion cost grows with the data set for both trees",
+        all(later > earlier for earlier, later in zip(dc, dc[1:]))
+        and all(later > earlier for earlier, later in zip(xt, xt[1:])),
+        "DC %s / X %s" % (
+            "increasing" if dc == sorted(dc) else "NOT increasing",
+            "increasing" if xt == sorted(xt) else "NOT increasing",
+        ),
+    ))
+    per_record = [row[1] for row in fig11b_rows(sweep)]
+    yield_claims.append(Claim(
+        "fig11b",
+        "per-record insertion cost stays small and near-flat",
+        per_record[-1] < 0.25
+        and per_record[-1] < 5 * max(per_record[0], 1e-9),
+        "%.2g s -> %.2g s per record" % (per_record[0], per_record[-1]),
+    ))
+    return yield_claims
+
+
+def _fig12_claims(sweep):
+    claims = []
+    final_speedups = {}
+    for panel, (selectivity, competitor) in sorted(PANELS.items()):
+        if selectivity not in sweep.selectivities:
+            continue
+        rows = fig12_rows(sweep, selectivity, competitor)
+        wins = all(row[1] < row[2] for row in rows)
+        speedup = rows[-1][2] / rows[-1][1]
+        final_speedups[(selectivity, competitor)] = speedup
+        claims.append(Claim(
+            "fig12%s" % panel,
+            "DC-tree beats %s at %.0f%% selectivity (sim, every size)"
+            % (competitor, selectivity * 100),
+            wins,
+            "final speed-up %.1fx" % speedup,
+        ))
+    ordered = [
+        final_speedups.get((selectivity, "x-tree"))
+        for selectivity in (0.01, 0.05, 0.25)
+    ]
+    if all(value is not None for value in ordered):
+        claims.append(Claim(
+            "fig12",
+            "the win over the X-tree shrinks as selectivity grows",
+            ordered[0] >= ordered[1] >= ordered[2],
+            "1%%: %.1fx  5%%: %.1fx  25%%: %.1fx" % tuple(ordered),
+        ))
+    scan_speedups = [
+        row[2] / row[1]
+        for row in fig12_rows(sweep, 0.25, "scan")
+    ] if 0.25 in sweep.selectivities else []
+    if len(scan_speedups) >= 2:
+        claims.append(Claim(
+            "fig12d",
+            "the win over the scan grows with the data set",
+            scan_speedups[-1] >= scan_speedups[0],
+            "%.1fx -> %.1fx" % (scan_speedups[0], scan_speedups[-1]),
+        ))
+    return claims
+
+
+def _fig13_claims(sweep):
+    rows = fig13_rows(sweep)
+    growing = [row[1] for row in rows]
+    stable = [row[2] for row in rows]
+    supernodes = [row[3] for row in rows]
+    claims = [
+        Claim(
+            "fig13",
+            "one directory level accumulates supernodes and grows",
+            growing[-1] > 1.5 * max(growing[0], 1.0)
+            and supernodes[-1] >= 1,
+            "%.0f -> %.0f entries, %d supernodes"
+            % (growing[0], growing[-1], supernodes[-1]),
+        ),
+        Claim(
+            "fig13",
+            "the neighbouring level stays near node capacity",
+            stable[-1] < 1.5 * max(stable[0], 1.0),
+            "%.0f -> %.0f entries" % (stable[0], stable[-1]),
+        ),
+    ]
+    return claims
+
+
+def report_verdict(**sweep_kwargs):
+    """Formatted scorecard for one (cached) sweep."""
+    sweep = cached_sweep(**sweep_kwargs)
+    claims = evaluate_claims(sweep)
+    table = format_table(
+        ("artifact", "claim", "verdict", "measured"),
+        [claim.row() for claim in claims],
+        title="Reproduction scorecard (shape claims of every figure)",
+    )
+    n_passed = sum(1 for claim in claims if claim.passed)
+    return "%s\n\n%d/%d shape claims hold" % (table, n_passed, len(claims))

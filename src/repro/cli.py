@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   write a TPC-D-style flat insert file
+load       bulk-load a warehouse from a flat file and save it
+query      run one aggregate query against a saved warehouse
+groupby    run one roll-up report against a saved warehouse
+sql        run a SQL-ish query (SELECT agg(measure) WHERE ... GROUP BY ...)
+inspect    print schema, size and tree statistics of a saved warehouse
+bench      shortcut for ``python -m repro.bench ...``
+
+The CLI is a thin veneer over the public API — every command body reads
+like the quickstart so it doubles as living documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.bulkload import bulk_load
+from .core.stats import collect_stats
+from .errors import ReproError
+from .persist.io import load_warehouse, save_warehouse
+from .query.sql import execute as execute_sql
+from .tpcd.flatfile import read_flatfile, write_flatfile
+from .tpcd.generator import TPCDGenerator
+from .tpcd.schema import make_tpcd_schema
+from .warehouse import Warehouse
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early - not an error.
+        return 0
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DC-tree data warehouse toolkit (ICDE 2000 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    generate = commands.add_parser(
+        "generate", help="write a TPC-D-style flat insert file"
+    )
+    generate.add_argument("path", help="output .tbl path")
+    generate.add_argument("--records", type=int, default=10000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    load = commands.add_parser(
+        "load", help="bulk-load a warehouse from a flat file and save it"
+    )
+    load.add_argument("flatfile", help="input .tbl path")
+    load.add_argument("warehouse", help="output warehouse .json path")
+    load.add_argument(
+        "--backend", choices=("dc-tree", "x-tree", "scan"),
+        default="dc-tree",
+    )
+    load.set_defaults(handler=_cmd_load)
+
+    query = commands.add_parser(
+        "query", help="one aggregate query against a saved warehouse"
+    )
+    query.add_argument("warehouse", help="warehouse .json path")
+    query.add_argument("--op", default="sum",
+                       choices=("sum", "count", "avg", "min", "max"))
+    query.add_argument(
+        "--where", action="append", default=[], metavar="DIM.LEVEL=A,B",
+        help="constraint, repeatable (e.g. Customer.Region=EUROPE,ASIA)",
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    groupby = commands.add_parser(
+        "groupby", help="roll-up report against a saved warehouse"
+    )
+    groupby.add_argument("warehouse", help="warehouse .json path")
+    groupby.add_argument("by", metavar="DIM.LEVEL",
+                         help="e.g. Customer.Region")
+    groupby.add_argument("--op", default="sum",
+                         choices=("sum", "count", "avg", "min", "max"))
+    groupby.add_argument(
+        "--where", action="append", default=[], metavar="DIM.LEVEL=A,B"
+    )
+    groupby.set_defaults(handler=_cmd_groupby)
+
+    inspect = commands.add_parser(
+        "inspect", help="schema, sizes and tree statistics of a warehouse"
+    )
+    inspect.add_argument("warehouse", help="warehouse .json path")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    sql = commands.add_parser(
+        "sql", help="run a SQL-ish query against a saved warehouse"
+    )
+    sql.add_argument("warehouse", help="warehouse .json path")
+    sql.add_argument(
+        "query",
+        help="e.g. \"SELECT SUM(ExtendedPrice) WHERE "
+             "Customer.Region = 'EUROPE' GROUP BY Time.Year\"",
+    )
+    sql.set_defaults(handler=_cmd_sql)
+
+    bench = commands.add_parser(
+        "bench",
+        help="regenerate the paper's experiments "
+             "(delegates to `python -m repro.bench`)",
+    )
+    bench.add_argument("bench_args", nargs=argparse.REMAINDER,
+                       help="arguments for repro.bench (e.g. fig12b --quick)")
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def _cmd_generate(args):
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=args.seed,
+                              scale_records=args.records)
+    count = write_flatfile(
+        args.path, schema, generator.records(args.records)
+    )
+    print("wrote %d records to %s" % (count, args.path))
+    return 0
+
+
+def _cmd_load(args):
+    schema, records = read_flatfile(args.flatfile)
+    if args.backend == "dc-tree":
+        warehouse = Warehouse.wrap(bulk_load(schema, records))
+    else:
+        warehouse = Warehouse(schema, args.backend)
+        for record in records:
+            warehouse.insert_record(record)
+    save_warehouse(warehouse, args.warehouse)
+    print(
+        "loaded %d records into a %s and saved it to %s"
+        % (len(warehouse), args.backend, args.warehouse)
+    )
+    return 0
+
+
+def _parse_where(clauses):
+    where = {}
+    for clause in clauses:
+        head, _, labels = clause.partition("=")
+        dim, _, level = head.partition(".")
+        if not (dim and level and labels):
+            raise SystemExit(
+                "bad --where %r (expected DIM.LEVEL=A,B)" % clause
+            )
+        where[dim] = (level, [label for label in labels.split(",") if label])
+    return where
+
+
+def _cmd_query(args):
+    warehouse = load_warehouse(args.warehouse)
+    result = warehouse.query(args.op, where=_parse_where(args.where))
+    print(result)
+    return 0
+
+
+def _cmd_groupby(args):
+    warehouse = load_warehouse(args.warehouse)
+    dim, _, level = args.by.partition(".")
+    if not (dim and level):
+        raise SystemExit("bad group-by %r (expected DIM.LEVEL)" % args.by)
+    groups = warehouse.group_by(
+        dim, level, op=args.op, where=_parse_where(args.where)
+    )
+    for label in sorted(groups):
+        print("%s\t%g" % (label, groups[label]))
+    return 0
+
+
+def _cmd_sql(args):
+    warehouse = load_warehouse(args.warehouse)
+    result = execute_sql(warehouse, args.query)
+    if isinstance(result, dict):
+        for label in sorted(result):
+            print("%s\t%g" % (label, result[label]))
+    else:
+        print(result)
+    return 0
+
+
+def _cmd_bench(args):
+    from .bench.__main__ import main as bench_main
+
+    return bench_main(args.bench_args or ["all", "--quick"])
+
+
+def _cmd_inspect(args):
+    warehouse = load_warehouse(args.warehouse)
+    print("backend:  %s" % warehouse.backend)
+    print("records:  %d" % len(warehouse))
+    print("size:     %.1f KiB" % (warehouse.byte_size() / 1024))
+    for dimension in warehouse.schema.dimensions:
+        hierarchy = dimension.hierarchy
+        sizes = "/".join(
+            str(hierarchy.n_values_at_level(level))
+            for level in reversed(range(hierarchy.top_level))
+        )
+        print(
+            "dim %-10s %s (%s values)"
+            % (dimension.name, " > ".join(reversed(dimension.level_names)),
+               sizes)
+        )
+    for measure in warehouse.schema.measures:
+        print("measure:  %s" % measure.name)
+    if warehouse.backend in ("dc-tree", "x-tree"):
+        stats = collect_stats(warehouse.index)
+        print("height:   %d" % stats.height)
+        print("nodes:    %d (%d supernodes)" % (stats.n_nodes,
+                                                stats.n_supernodes))
+        for level in stats.levels:
+            print(
+                "  depth %d: %4d nodes, %6.1f entries avg"
+                % (level.depth, level.n_nodes, level.avg_entries)
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

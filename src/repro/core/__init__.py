@@ -1,0 +1,46 @@
+"""The DC-tree: MDS algebra, nodes, hierarchy split, tree, statistics."""
+
+from .mds import (
+    MDS,
+    contains,
+    covers_record,
+    extension,
+    operation_cost,
+    overlap,
+    overlaps,
+    union_cardinality,
+)
+from .node import DCDataNode, DCDirNode
+from .split import (
+    SplitPlan,
+    choose_seeds,
+    compute_group_mds,
+    hierarchy_split,
+    linear_split,
+    plan_node_split,
+)
+from .stats import LevelStats, TreeStats, collect_stats
+from .tree import DCTree
+
+__all__ = [
+    "DCDataNode",
+    "DCDirNode",
+    "DCTree",
+    "LevelStats",
+    "MDS",
+    "SplitPlan",
+    "TreeStats",
+    "choose_seeds",
+    "collect_stats",
+    "compute_group_mds",
+    "contains",
+    "covers_record",
+    "extension",
+    "hierarchy_split",
+    "linear_split",
+    "operation_cost",
+    "overlap",
+    "overlaps",
+    "plan_node_split",
+    "union_cardinality",
+]

@@ -1,0 +1,930 @@
+"""The DC-tree: a fully dynamic index structure for data cubes (§3–4).
+
+The tree is X-tree-shaped — hierarchical directory, supernodes when no
+good split exists — but replaces MBRs by MDSs, exploits the partial
+ordering of the concept hierarchies, and materializes aggregate measures
+in every directory entry so range queries can stop at contained entries.
+
+Public operations:
+
+* :meth:`DCTree.insert` / :meth:`DCTree.delete` — single-record dynamic
+  updates (the paper's motivation: no nightly bulk-update window).
+* :meth:`DCTree.range_query` — aggregation (SUM/COUNT/AVG/MIN/MAX) over a
+  range MDS, Fig. 7's algorithm.
+* :meth:`DCTree.range_records` — the matching records themselves.
+* :meth:`DCTree.check_invariants` — deep structural audit used by tests.
+"""
+
+from __future__ import annotations
+
+from ..config import DCTreeConfig
+from ..cube.aggregation import AggregateVector, StreamingAggregator
+from ..errors import QueryError, RecordNotFoundError, TreeError
+from ..storage import page as page_mod
+from ..storage.tracker import StorageTracker
+from . import mds as mds_mod
+from . import split as split_mod
+from .mds import MDS
+from .node import DCDataNode, DCDirNode
+
+
+class DCTree:
+    """A DC-tree over one :class:`~repro.cube.schema.CubeSchema`.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema; its concept hierarchies are shared with the tree.
+    config:
+        A :class:`~repro.config.DCTreeConfig` (defaults apply otherwise).
+    tracker:
+        Optional externally owned :class:`StorageTracker` (lets experiments
+        share a buffer pool); the tree creates a private one by default.
+    """
+
+    def __init__(self, schema, config=None, tracker=None, storage_config=None):
+        self.schema = schema
+        self.config = config if config is not None else DCTreeConfig()
+        self.hierarchies = tuple(d.hierarchy for d in schema.dimensions)
+        if tracker is not None:
+            self.tracker = tracker
+        else:
+            self.tracker = StorageTracker(storage_config)
+        self._n_records = 0
+        self._root = self._new_data_node(MDS.all_mds(self.hierarchies))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._n_records
+
+    @property
+    def root(self):
+        """The root node (read-only use, e.g. by the statistics module)."""
+        return self._root
+
+    def height(self):
+        """Number of levels, counting the root as 1."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    def records(self):
+        """Iterate over all records (no I/O accounting; test/debug aid)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.records
+            else:
+                stack.extend(node.children)
+
+    def byte_size(self):
+        """Approximate on-disk footprint of the whole tree in bytes."""
+        n_flat = self.schema.n_flat_attributes
+        n_measures = self.schema.n_measures
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node.byte_size(n_flat, n_measures)
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return total
+
+    def page_count(self):
+        """Pages occupied at the configured page size."""
+        page_size = self.tracker.config.page_size
+        n_flat = self.schema.n_flat_attributes
+        n_measures = self.schema.n_measures
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += page_mod.pages_for(
+                node.byte_size(n_flat, n_measures), page_size
+            )
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return total
+
+    # ------------------------------------------------------------------
+    # insertion (Fig. 4)
+    # ------------------------------------------------------------------
+
+    def insert(self, record):
+        """Insert one data record, keeping the index fully up to date."""
+        # Dynamic hierarchy maintenance (§3.1): assigning/looking up the
+        # level-tagged ID of each of the record's attribute values.
+        self.tracker.cpu(2 * self.schema.n_flat_attributes)
+        split_result = self._insert_into(self._root, record)
+        if split_result is not None:
+            self._grow_root(split_result)
+        self._n_records += 1
+
+    def _insert_into(self, node, record):
+        """Recursive insert; returns a (left, right) pair on split."""
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        node.mds.add_record(record, self.hierarchies)
+        node.aggregate.add_record(record)
+        self.tracker.cpu(self.schema.n_flat_attributes)
+        # The materialized measures of the paper make every insert dirty
+        # every node on its path (write-through single-record updates).
+        self.tracker.write_node(node.page_id)
+        if node.is_leaf:
+            node.records.append(record)
+            if self._overfull(node):
+                return self._split_or_grow(node)
+            return None
+        child = self._choose_subtree(node, record)
+        child_split = self._insert_into(child, record)
+        if child_split is not None:
+            position = node.children.index(child)
+            node.children[position:position + 1] = list(child_split)
+            self.tracker.access_node(node.page_id, node.n_blocks)
+            self.tracker.write_node(node.page_id)
+            if self._overfull(node):
+                return self._split_or_grow(node)
+        return None
+
+    def _choose_subtree(self, node, record):
+        """Pick the son the record descends into.
+
+        Criteria (in order): least growth of the child's MDS size, least
+        resulting volume, fewest entries.  A child that already covers the
+        record therefore always wins.
+        """
+        best = None
+        best_key = None
+        for child in node.children:
+            growth = 0
+            volume = 1
+            for dim in range(self.schema.n_dimensions):
+                level = child.mds.level(dim)
+                hierarchy = self.hierarchies[dim]
+                if level >= hierarchy.top_level:
+                    value = hierarchy.all_id
+                else:
+                    value = record.value_at_level(dim, level)
+                cardinality = child.mds.cardinality(dim)
+                if value not in child.mds.value_set(dim):
+                    growth += 1
+                    cardinality += 1
+                volume *= cardinality
+            key = (growth, volume, child.entry_count)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = child
+        self.tracker.cpu(len(node.children) * self.schema.n_dimensions)
+        return best
+
+    def _grow_root(self, split_pair):
+        """Install a new root above a split root (tree grows by one level)."""
+        old_mds = self._root.mds
+        new_root = DCDirNode(
+            MDS(
+                [set(old_mds.value_set(d)) for d in range(old_mds.n_dimensions)],
+                old_mds.levels,
+            ),
+            self._aggregate_of_nodes(split_pair),
+            self.tracker.new_page_id(),
+            children=list(split_pair),
+        )
+        self._root = new_root
+        self.tracker.access_node(new_root.page_id, new_root.n_blocks)
+        self.tracker.write_node(new_root.page_id)
+
+    # ------------------------------------------------------------------
+    # splitting (Fig. 5) and supernode management
+    # ------------------------------------------------------------------
+
+    def _capacity(self, node):
+        base = (
+            self.config.leaf_capacity if node.is_leaf
+            else self.config.dir_capacity
+        )
+        return base * node.n_blocks
+
+    def _overfull(self, node):
+        """Has the node outgrown its blocks (per the capacity mode)?"""
+        if self.config.capacity_mode == "entries":
+            return node.entry_count > self._capacity(node)
+        page_size = self.tracker.config.page_size
+        return node.byte_size(
+            self.schema.n_flat_attributes, self.schema.n_measures
+        ) > page_size * node.n_blocks
+
+    def _blocks_needed(self, node):
+        """Blocks a freshly materialized node occupies."""
+        if self.config.capacity_mode == "entries":
+            base = (
+                self.config.leaf_capacity if node.is_leaf
+                else self.config.dir_capacity
+            )
+            return max(1, -(-node.entry_count // base))
+        return page_mod.pages_for(
+            node.byte_size(
+                self.schema.n_flat_attributes, self.schema.n_measures
+            ),
+            self.tracker.config.page_size,
+        )
+
+    def _split_or_grow(self, node):
+        """Split the overfull node or grow it into/as a supernode.
+
+        Returns a (left, right) node pair on success, None when the node
+        became (or stays) a supernode.
+        """
+        if node.is_leaf:
+            adapt = self._make_record_adapter(node.records)
+            n_entries = len(node.records)
+        else:
+            adapt = self._make_entry_adapter(node.children)
+            n_entries = len(node.children)
+        plan = split_mod.plan_node_split(
+            node.mds, n_entries, adapt, self.config, self.hierarchies
+        )
+        if plan is None:
+            node.n_blocks += 1
+            return None
+        self.tracker.cpu(plan.cpu_units)
+        if node.is_leaf:
+            pair = self._materialize_leaf_split(node, plan)
+        else:
+            pair = self._materialize_dir_split(node, plan)
+        self.tracker.free_node(node.page_id, node.n_blocks)
+        return pair
+
+    def _make_record_adapter(self, records):
+        """Adapter producing record MDSs at arbitrary target levels."""
+
+        def adapt(levels):
+            return [
+                MDS.for_record(record, levels, self.hierarchies)
+                for record in records
+            ]
+
+        return adapt
+
+    def _make_entry_adapter(self, children):
+        """Adapter producing child-entry MDSs at arbitrary target levels.
+
+        When a child's relevant level in some dimension lies *above* the
+        requested level (possible when the node split descends a concept
+        level the child never descended), the child's actual values at the
+        requested level are collected from its subtree — charged as real
+        node accesses, as a disk-resident implementation would pay them.
+        """
+
+        def adapt(levels):
+            adapted = []
+            for child in children:
+                sets = []
+                for dim, level in enumerate(levels):
+                    if child.mds.level(dim) <= level:
+                        sets.append(
+                            child.mds.adapted_set(
+                                dim, level, self.hierarchies[dim]
+                            )
+                        )
+                    else:
+                        sets.append(self._collect_values(child, dim, level))
+                adapted.append(MDS(sets, levels))
+            return adapted
+
+        return adapt
+
+    def _collect_values(self, node, dim, level):
+        """Actual values at ``level`` in ``dim`` occurring under ``node``."""
+        hierarchy = self.hierarchies[dim]
+        if level >= hierarchy.top_level:
+            return {hierarchy.all_id}
+        values = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            self.tracker.access_node(current.page_id, current.n_blocks)
+            if current.is_leaf:
+                for record in current.records:
+                    values.add(record.value_at_level(dim, level))
+                self.tracker.cpu(len(current.records))
+            else:
+                for child in current.children:
+                    if child.mds.level(dim) <= level:
+                        values.update(
+                            child.mds.adapted_set(dim, level, hierarchy)
+                        )
+                    else:
+                        stack.append(child)
+                self.tracker.cpu(len(current.children))
+        return values
+
+    def _materialize_leaf_split(self, node, plan):
+        groups = plan.groups
+        pair = []
+        for group in groups:
+            records = [node.records[i] for i in group]
+            new_node = self._new_data_node(
+                MDS.empty(plan.levels), records=records
+            )
+            for record in records:
+                new_node.mds.add_record(record, self.hierarchies)
+                new_node.aggregate.add_record(record)
+            new_node.n_blocks = self._blocks_needed(new_node)
+            pair.append(new_node)
+        self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+        for new_node in pair:
+            self.tracker.access_node(new_node.page_id, new_node.n_blocks)
+            self.tracker.write_node(new_node.page_id, new_node.n_blocks)
+        return tuple(pair)
+
+    def _materialize_dir_split(self, node, plan):
+        groups = plan.groups
+        pair = []
+        for group in groups:
+            children = [node.children[i] for i in group]
+            for child in children:
+                self._refine_child_levels(child, plan.levels)
+            group_mds = MDS.empty(plan.levels)
+            for child in children:
+                self._extend_with_child(group_mds, child)
+            new_node = DCDirNode(
+                group_mds,
+                self._aggregate_of_nodes(children),
+                self.tracker.new_page_id(),
+                children=children,
+            )
+            new_node.n_blocks = self._blocks_needed(new_node)
+            pair.append(new_node)
+        self.tracker.cpu(len(node.children) * self.schema.n_dimensions)
+        for new_node in pair:
+            self.tracker.access_node(new_node.page_id, new_node.n_blocks)
+            self.tracker.write_node(new_node.page_id, new_node.n_blocks)
+        return tuple(pair)
+
+    def _refine_child_levels(self, child, levels):
+        """Deepen a child whose MDS is coarser than the split target.
+
+        A hierarchy split may descend one concept level past a child that
+        never descended there itself; the child's exact value set at the
+        target level was already collected for the grouping, so the
+        child's own MDS is refined to it — children stay at least as
+        specific as their parents.
+        """
+        for dim, level in enumerate(levels):
+            if child.mds.level(dim) > level:
+                child.mds.refine_dimension(
+                    dim, self._collect_values(child, dim, level), level
+                )
+
+    def _extend_with_child(self, group_mds, child):
+        """Fold a child's value sets into a group MDS being built."""
+        for dim in range(group_mds.n_dimensions):
+            level = group_mds.level(dim)
+            if child.mds.level(dim) <= level:
+                group_mds.value_set(dim).update(
+                    child.mds.adapted_set(dim, level, self.hierarchies[dim])
+                )
+            else:
+                group_mds.value_set(dim).update(
+                    self._collect_values(child, dim, level)
+                )
+
+    def _aggregate_of_nodes(self, nodes):
+        aggregate = AggregateVector(self.schema.n_measures)
+        for node in nodes:
+            aggregate.add_vector(node.aggregate)
+        return aggregate
+
+    def _new_data_node(self, mds, records=None):
+        return DCDataNode(
+            mds,
+            AggregateVector(self.schema.n_measures),
+            self.tracker.new_page_id(),
+            records=records,
+        )
+
+    # ------------------------------------------------------------------
+    # range queries (Fig. 7)
+    # ------------------------------------------------------------------
+
+    def range_query(self, range_mds, op="sum", measure=0):
+        """Aggregate ``op`` of one measure over the cells in ``range_mds``.
+
+        ``measure`` may be an index or a measure name.  Uses the
+        materialized aggregates of contained directory entries unless the
+        configuration disables them (ablation `abl-measures`).  MIN and
+        MAX additionally run branch-and-bound over the stored extrema
+        (the optimization of Ho et al., the paper's reference [6]): a
+        partially overlapping subtree whose stored bound cannot improve
+        the current best is pruned without being read.
+        """
+        measure_index = self._measure_index(measure)
+        self._check_query_mds(range_mds)
+        if op in ("min", "max") and self.config.use_materialized_aggregates:
+            return self._range_extremum(range_mds, op, measure_index)
+        aggregator = StreamingAggregator(op, measure_index)
+        self._query_node(self._root, range_mds, aggregator)
+        return aggregator.result()
+
+    def _range_extremum(self, range_mds, op, measure_index):
+        """Branch-and-bound range-MAX/MIN (reference [6] style)."""
+        sign = 1.0 if op == "max" else -1.0
+        best = self._extremum_node(
+            self._root, range_mds, sign, measure_index, None
+        )
+        return best
+
+    def _extremum_node(self, node, range_mds, sign, measure_index, best):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        if node.is_leaf:
+            self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+            for record in node.records:
+                if mds_mod.covers_record(range_mds, record, self.hierarchies):
+                    value = record.measures[measure_index]
+                    if best is None or sign * value > sign * best:
+                        best = value
+            return best
+        candidates = []
+        for child in node.children:
+            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
+            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+                continue
+            summary = child.aggregate.summaries[measure_index]
+            if summary.count == 0:
+                continue
+            bound = summary.max if sign > 0 else summary.min
+            contained = mds_mod.contains(
+                range_mds, child.mds, self.hierarchies
+            )
+            candidates.append((sign * bound, contained, bound, child))
+        # Most promising bound first maximizes subsequent pruning.
+        candidates.sort(key=lambda item: item[0], reverse=True)
+        for signed_bound, contained, bound, child in candidates:
+            if best is not None and signed_bound <= sign * best:
+                break  # no remaining subtree can improve the best
+            if contained:
+                best = bound
+            else:
+                best = self._extremum_node(
+                    child, range_mds, sign, measure_index, best
+                )
+        return best
+
+    def range_count(self, range_mds):
+        """Number of records inside ``range_mds``."""
+        return self.range_query(range_mds, op="count")
+
+    def range_summary(self, range_mds, measure=0):
+        """All supported aggregates of one measure in a single pass.
+
+        Returns a :class:`~repro.cube.aggregation.MeasureSummary` — sum,
+        count, min and max together for the price of one traversal (the
+        materialized vectors hold all four, Fig. 7's algorithm is
+        aggregate-agnostic).
+        """
+        measure_index = self._measure_index(measure)
+        self._check_query_mds(range_mds)
+        aggregator = StreamingAggregator("sum", measure_index)
+        self._query_node(self._root, range_mds, aggregator)
+        return aggregator.summary.copy()
+
+    def estimate_count(self, range_mds, max_depth=1):
+        """Cheap cardinality estimate from the directory only.
+
+        Descends at most ``max_depth`` levels; fully contained entries
+        contribute their exact counts, partially overlapping entries are
+        prorated by the fraction of their MDS volume the query covers
+        (uniformity assumption — the classic optimizer trade of accuracy
+        for I/O).  ``max_depth=0`` inspects only the root's entries.
+        """
+        self._check_query_mds(range_mds)
+        return self._estimate_node(self._root, range_mds, max_depth)
+
+    def _estimate_node(self, node, range_mds, depth_budget):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        if node.is_leaf:
+            self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+            return float(
+                sum(
+                    1 for record in node.records
+                    if mds_mod.covers_record(range_mds, record,
+                                             self.hierarchies)
+                )
+            )
+        estimate = 0.0
+        for child in node.children:
+            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
+            shared = mds_mod.overlap(range_mds, child.mds, self.hierarchies)
+            if shared == 0:
+                continue
+            if mds_mod.contains(range_mds, child.mds, self.hierarchies):
+                estimate += child.aggregate.count
+            elif depth_budget > 0:
+                estimate += self._estimate_node(
+                    child, range_mds, depth_budget - 1
+                )
+            else:
+                fraction = self._overlap_fraction(range_mds, child.mds)
+                estimate += child.aggregate.count * fraction
+        return estimate
+
+    def _overlap_fraction(self, range_mds, entry_mds):
+        """Estimated fraction of the entry's records inside the range.
+
+        Per dimension: the covered share of the entry's value set,
+        expanded to the *query's* level when the query is more specific
+        (upward adaptation would wildly overestimate — 25 % of the days
+        adapt up to *all* months).  Dimensions multiply (independence
+        assumption).
+        """
+        fraction = 1.0
+        for dim in range(range_mds.n_dimensions):
+            hierarchy = self.hierarchies[dim]
+            query_level = range_mds.level(dim)
+            entry_level = entry_mds.level(dim)
+            query_set = range_mds.value_set(dim)
+            if query_level >= entry_level:
+                entry_set = entry_mds.adapted_set(dim, query_level, hierarchy)
+                covered = len(entry_set & query_set)
+                total = len(entry_set)
+            else:
+                covered = 0
+                total = 0
+                for value in entry_mds.value_set(dim):
+                    descendants = hierarchy.descendants_at_level(
+                        value, query_level
+                    )
+                    covered += len(descendants & query_set)
+                    total += len(descendants)
+            self.tracker.cpu(total)
+            if total == 0:
+                return 0.0
+            fraction *= covered / total
+            if fraction == 0.0:
+                return 0.0
+        return fraction
+
+    def range_records(self, range_mds):
+        """The records inside ``range_mds`` (always descends to leaves)."""
+        self._check_query_mds(range_mds)
+        result = []
+        self._collect_records(self._root, range_mds, result)
+        return result
+
+    def _query_node(self, node, range_mds, aggregator):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        if node.is_leaf:
+            self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+            for record in node.records:
+                if mds_mod.covers_record(range_mds, record, self.hierarchies):
+                    aggregator.add_record(record)
+            return
+        use_aggregates = self.config.use_materialized_aggregates
+        for child in node.children:
+            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
+            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+                continue
+            if use_aggregates and mds_mod.contains(
+                range_mds, child.mds, self.hierarchies
+            ):
+                aggregator.add_vector(child.aggregate)
+            else:
+                self._query_node(child, range_mds, aggregator)
+
+    def _collect_records(self, node, range_mds, result):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        if node.is_leaf:
+            self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+            for record in node.records:
+                if mds_mod.covers_record(range_mds, record, self.hierarchies):
+                    result.append(record)
+            return
+        for child in node.children:
+            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
+            if mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+                self._collect_records(child, range_mds, result)
+
+    def _measure_index(self, measure):
+        if isinstance(measure, str):
+            return self.schema.measure_index(measure)
+        if not 0 <= measure < self.schema.n_measures:
+            raise QueryError("measure index %r out of range" % (measure,))
+        return measure
+
+    def _check_query_mds(self, range_mds):
+        if range_mds.n_dimensions != self.schema.n_dimensions:
+            raise QueryError(
+                "query has %d dimensions, cube has %d"
+                % (range_mds.n_dimensions, self.schema.n_dimensions)
+            )
+        if range_mds.is_empty():
+            raise QueryError("query MDS has an empty dimension")
+
+    # ------------------------------------------------------------------
+    # group-by (roll-up along one concept hierarchy)
+    # ------------------------------------------------------------------
+
+    def group_by(self, dim_index, level, op="sum", measure=0,
+                 range_mds=None):
+        """Aggregate per value at ``level`` of dimension ``dim_index``.
+
+        Returns ``{attr_id: aggregate}`` for every value with at least
+        one record (inside ``range_mds``, when given).  One traversal:
+        a subtree whose MDS maps to a *single* group and lies fully
+        inside the range contributes its materialized aggregate without
+        being read; everything else descends.
+        """
+        groups = self.group_by_aggregators(
+            dim_index, level, op, measure, range_mds
+        )
+        return {
+            value: aggregator.result() for value, aggregator in groups.items()
+        }
+
+    def group_by_aggregators(self, dim_index, level, op="sum", measure=0,
+                             range_mds=None):
+        """Like :meth:`group_by` but returns the live aggregators.
+
+        Callers that need to merge groups further (e.g. by label — TPC-D
+        market segments repeat under every nation) combine the underlying
+        summaries instead of the finished scalars.
+        """
+        measure_index = self._measure_index(measure)
+        if not 0 <= dim_index < self.schema.n_dimensions:
+            raise QueryError("dimension index %r out of range" % (dim_index,))
+        hierarchy = self.hierarchies[dim_index]
+        if not 0 <= level < hierarchy.top_level:
+            raise QueryError(
+                "group-by level %r out of range for dimension %d"
+                % (level, dim_index)
+            )
+        if range_mds is None:
+            range_mds = MDS.all_mds(self.hierarchies)
+        else:
+            self._check_query_mds(range_mds)
+        groups = {}
+        self._group_node(
+            self._root, dim_index, level, op, measure_index, range_mds,
+            groups,
+        )
+        return groups
+
+    def _group_node(self, node, dim_index, level, op, measure_index,
+                    range_mds, groups):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        hierarchy = self.hierarchies[dim_index]
+        if node.is_leaf:
+            self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+            for record in node.records:
+                if mds_mod.covers_record(range_mds, record, self.hierarchies):
+                    value = record.value_at_level(dim_index, level)
+                    self._group_for(value, op, measure_index, groups) \
+                        .add_record(record)
+            return
+        use_aggregates = self.config.use_materialized_aggregates
+        for child in node.children:
+            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
+            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+                continue
+            single_group = None
+            if child.mds.level(dim_index) <= level:
+                lifted = child.mds.adapted_set(dim_index, level, hierarchy)
+                if len(lifted) == 1:
+                    single_group = next(iter(lifted))
+            if (
+                use_aggregates
+                and single_group is not None
+                and mds_mod.contains(range_mds, child.mds, self.hierarchies)
+            ):
+                self._group_for(single_group, op, measure_index, groups) \
+                    .add_vector(child.aggregate)
+            else:
+                self._group_node(
+                    child, dim_index, level, op, measure_index, range_mds,
+                    groups,
+                )
+
+    @staticmethod
+    def _group_for(value, op, measure_index, groups):
+        aggregator = groups.get(value)
+        if aggregator is None:
+            aggregator = StreamingAggregator(op, measure_index)
+            groups[value] = aggregator
+        return aggregator
+
+    # ------------------------------------------------------------------
+    # deletion (the 'fully dynamic' complement of insert)
+    # ------------------------------------------------------------------
+
+    def delete(self, record):
+        """Remove one record (by value); raise if it is not indexed.
+
+        Aggregates are subtracted along the deletion path; stale MIN/MAX
+        summaries and the path's MDSs are recomputed bottom-up so coverage
+        *and* minimality keep holding.  Empty nodes are unlinked,
+        underflowing nodes are condensed (their contents reinserted, as in
+        the R-tree), shrunk supernodes give blocks back, and a root
+        directory left with a single child is collapsed.
+        """
+        orphans = []
+        if not self._delete_from(self._root, record, orphans):
+            raise RecordNotFoundError("record not found: %r" % (record,))
+        self._n_records -= 1
+        self._collapse_root()
+        for orphan in orphans:
+            self._reinsert(orphan)
+
+    def _collapse_root(self):
+        root = self._root
+        if not root.is_leaf and len(root.children) == 1:
+            self._root = root.children[0]
+            self.tracker.free_node(root.page_id, root.n_blocks)
+
+    def _reinsert(self, record):
+        """Insert without touching the record count (condense support)."""
+        self.tracker.cpu(2 * self.schema.n_flat_attributes)
+        split_result = self._insert_into(self._root, record)
+        if split_result is not None:
+            self._grow_root(split_result)
+
+    def _delete_from(self, node, record, orphans):
+        self.tracker.access_node(node.page_id, node.n_blocks)
+        if node.is_leaf:
+            try:
+                node.records.remove(record)
+            except ValueError:
+                return False
+            self._recompute_leaf_summary(node)
+            self.tracker.write_node(node.page_id)
+            return True
+        for child in node.children:
+            self.tracker.cpu(self.schema.n_dimensions)
+            if not mds_mod.covers_record(child.mds, record, self.hierarchies):
+                continue
+            if self._delete_from(child, record, orphans):
+                self._handle_underflow(node, child, orphans)
+                self._recompute_dir_summary(node)
+                self.tracker.write_node(node.page_id)
+                return True
+        return False
+
+    def _handle_underflow(self, parent, child, orphans):
+        """Unlink empty/underfull children; shrink shrunken supernodes."""
+        if child.entry_count == 0:
+            parent.children.remove(child)
+            self.tracker.free_node(child.page_id, child.n_blocks)
+            return
+        if child.is_supernode:
+            while child.n_blocks > 1 and not self._needs_blocks(
+                child, child.n_blocks - 1
+            ):
+                child.n_blocks -= 1
+            return
+        min_fanout = (
+            self.config.min_leaf_fanout() if child.is_leaf
+            else self.config.min_dir_fanout()
+        )
+        if child.entry_count < min_fanout and len(parent.children) > 1:
+            parent.children.remove(child)
+            self._collect_orphans(child, orphans)
+
+    def _needs_blocks(self, node, n_blocks):
+        """Would the node overflow if shrunk to ``n_blocks`` blocks?"""
+        if self.config.capacity_mode == "entries":
+            base = (
+                self.config.leaf_capacity if node.is_leaf
+                else self.config.dir_capacity
+            )
+            return node.entry_count > base * n_blocks
+        page_size = self.tracker.config.page_size
+        return node.byte_size(
+            self.schema.n_flat_attributes, self.schema.n_measures
+        ) > page_size * n_blocks
+
+    def _collect_orphans(self, node, orphans):
+        """Gather every record under ``node`` and free its pages."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            self.tracker.access_node(current.page_id, current.n_blocks)
+            self.tracker.free_node(current.page_id, current.n_blocks)
+            if current.is_leaf:
+                orphans.extend(current.records)
+            else:
+                stack.extend(current.children)
+
+    def _recompute_leaf_summary(self, node):
+        node.aggregate.clear()
+        for dim in range(node.mds.n_dimensions):
+            node.mds.value_set(dim).clear()
+        for record in node.records:
+            node.aggregate.add_record(record)
+            node.mds.add_record(record, self.hierarchies)
+        self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
+
+    def _recompute_dir_summary(self, node):
+        node.aggregate.clear()
+        for dim in range(node.mds.n_dimensions):
+            node.mds.value_set(dim).clear()
+        for child in node.children:
+            node.aggregate.add_vector(child.aggregate)
+            self._extend_with_child(node.mds, child)
+        self.tracker.cpu(len(node.children) * self.schema.n_dimensions)
+
+    # ------------------------------------------------------------------
+    # invariants (test support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self):
+        """Audit the whole tree; raise :class:`TreeError` on any violation.
+
+        Checks per node: MDS levels within bounds and dominated by the
+        parent's, exact coverage *and* minimality of the MDS, aggregate
+        consistency with the subtree, capacity respected, and supernode
+        bookkeeping.  Returns the total number of records seen.
+        """
+        total = self._check_node(self._root, parent_levels=None)
+        if total != self._n_records:
+            raise TreeError(
+                "record count mismatch: tree says %d, traversal found %d"
+                % (self._n_records, total)
+            )
+        return total
+
+    def _check_node(self, node, parent_levels):
+        mds = node.mds
+        for dim in range(mds.n_dimensions):
+            level = mds.level(dim)
+            top = self.hierarchies[dim].top_level
+            if not 0 <= level <= top:
+                raise TreeError("level %d out of range in dim %d" % (level, dim))
+            if parent_levels is not None and level > parent_levels[dim]:
+                raise TreeError(
+                    "child level %d exceeds parent level %d in dim %d"
+                    % (level, parent_levels[dim], dim)
+                )
+        if self._overfull(node):
+            raise TreeError(
+                "node overfull: %d entries in %d block(s)"
+                % (node.entry_count, node.n_blocks)
+            )
+        if node.n_blocks < 1:
+            raise TreeError("node with %d blocks" % node.n_blocks)
+
+        expected = AggregateVector(self.schema.n_measures)
+        total = 0
+        observed_sets = [set() for _ in range(mds.n_dimensions)]
+        if node.is_leaf:
+            for record in node.records:
+                expected.add_record(record)
+                total += 1
+                for dim in range(mds.n_dimensions):
+                    level = mds.level(dim)
+                    hierarchy = self.hierarchies[dim]
+                    if level >= hierarchy.top_level:
+                        observed_sets[dim].add(hierarchy.all_id)
+                    else:
+                        observed_sets[dim].add(
+                            record.value_at_level(dim, level)
+                        )
+        else:
+            if not node.children:
+                raise TreeError("directory node without children")
+            for child in node.children:
+                total += self._check_node(child, mds.levels)
+                expected.add_vector(child.aggregate)
+                for dim in range(mds.n_dimensions):
+                    level = mds.level(dim)
+                    if child.mds.level(dim) <= level:
+                        observed_sets[dim].update(
+                            child.mds.adapted_set(
+                                dim, level, self.hierarchies[dim]
+                            )
+                        )
+                    else:
+                        observed_sets[dim].update(
+                            self._collect_values(child, dim, level)
+                        )
+        if node.is_leaf and not node.records:
+            # An empty tree keeps the initial (ALL, ..., ALL) MDS; there is
+            # nothing for minimality to bite on.
+            return 0
+        for dim in range(mds.n_dimensions):
+            if observed_sets[dim] != mds.value_set(dim):
+                raise TreeError(
+                    "MDS of dim %d not minimal/covering: stored %r, actual %r"
+                    % (dim, sorted(mds.value_set(dim)),
+                       sorted(observed_sets[dim]))
+                )
+        if node.aggregate != expected:
+            raise TreeError(
+                "aggregate mismatch: stored %r, actual %r"
+                % (node.aggregate, expected)
+            )
+        return total

@@ -1,0 +1,34 @@
+"""Data-cube substrate: IDs, concept hierarchies, schemata, records.
+
+This package implements the data model of Section 3.1 of the paper:
+level-tagged 32-bit attribute IDs, dynamic concept hierarchies with a
+partial ordering, cube schemata with dimensions and measures, and the data
+records the indexes ingest.
+"""
+
+from .aggregation import (
+    SUPPORTED_AGGREGATES,
+    AggregateVector,
+    MeasureSummary,
+    StreamingAggregator,
+)
+from .hierarchy import ConceptHierarchy
+from .ids import counter_of, level_of, make_id, split_id
+from .record import DataRecord
+from .schema import CubeSchema, Dimension, Measure
+
+__all__ = [
+    "SUPPORTED_AGGREGATES",
+    "AggregateVector",
+    "ConceptHierarchy",
+    "CubeSchema",
+    "DataRecord",
+    "Dimension",
+    "Measure",
+    "MeasureSummary",
+    "StreamingAggregator",
+    "counter_of",
+    "level_of",
+    "make_id",
+    "split_id",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the DC-tree reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch everything library-specific with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A cube schema is inconsistent or a record does not match it."""
+
+
+class HierarchyError(ReproError):
+    """A concept-hierarchy operation is invalid.
+
+    Raised e.g. when a value path has the wrong length for its dimension,
+    when an unknown ID is dereferenced, or when the per-level ID space of a
+    dimension is exhausted.
+    """
+
+
+class IdSpaceExhaustedError(HierarchyError):
+    """No more IDs can be allocated at some (dimension, level)."""
+
+
+class MdsError(ReproError):
+    """An MDS operation was applied to incompatible operands."""
+
+
+class QueryError(ReproError):
+    """A range query is malformed for the schema it is executed against."""
+
+
+class StorageError(ReproError):
+    """The simulated paged storage layer was used incorrectly."""
+
+
+class TreeError(ReproError):
+    """An index structure detected an internal inconsistency."""
+
+
+class RecordNotFoundError(TreeError):
+    """A deletion targeted a record that is not present in the index."""

@@ -1,0 +1,11 @@
+"""Warehouse operation modes: batch updates, partitioning/retention."""
+
+from .batch import BatchWarehouse, MaintenanceStats, WarehouseOfflineError
+from .partitioned import PartitionedWarehouse
+
+__all__ = [
+    "BatchWarehouse",
+    "MaintenanceStats",
+    "PartitionedWarehouse",
+    "WarehouseOfflineError",
+]

@@ -1,0 +1,17 @@
+"""Warehouse persistence: structure-preserving save/load for all backends."""
+
+from .format import FORMAT_VERSION
+from .io import (
+    load_warehouse,
+    save_warehouse,
+    warehouse_from_dict,
+    warehouse_to_dict,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_warehouse",
+    "save_warehouse",
+    "warehouse_from_dict",
+    "warehouse_to_dict",
+]

@@ -1,0 +1,40 @@
+"""On-disk format for saved warehouses.
+
+A saved warehouse is a single JSON document with four sections:
+
+* ``meta``        — format version, backend name, record count
+* ``schema``      — dimension names + level names, measure names
+* ``hierarchies`` — per dimension, every node as ``[id, parent, label]``
+                    (the dictionary encoding of §3.1)
+* ``index``       — the backend-specific structure dump
+
+The index section stores the *structure*, not just the records: loading a
+DC-tree restores its exact nodes, MDSs, supernode block counts and
+materialized aggregates without re-running any split, so a load is a
+plain O(n) deserialization (and the loaded tree is bit-for-bit query-
+equivalent to the saved one — a property the test suite checks).
+
+JSON keeps the format dependency-free and debuggable; IDs are plain
+integers (the level tag lives inside the integer, §3.1).
+"""
+
+from __future__ import annotations
+
+#: Current format version; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+#: Node-type tags inside the index section.
+DATA_NODE = "data"
+DIR_NODE = "dir"
+
+
+def check_version(meta):
+    """Raise on a format-version mismatch."""
+    from ..errors import StorageError
+
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            "unsupported warehouse file version %r (this build reads %d)"
+            % (version, FORMAT_VERSION)
+        )

@@ -1,0 +1,340 @@
+"""Saving and loading warehouses (all three backends).
+
+``save_warehouse`` writes a single JSON file; ``load_warehouse`` restores
+a query-equivalent warehouse from it.  For the tree backends the exact
+structure is preserved — nodes, MDSs/MBRs, supernode block counts,
+split histories and materialized aggregates — so loading never re-splits
+and costs O(n) deserialization.
+
+The dict-level functions (``warehouse_to_dict`` / ``warehouse_from_dict``)
+are exposed for tests and for callers who want a different transport.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..config import DCTreeConfig, XTreeConfig
+from ..core.mds import MDS
+from ..core.node import DCDataNode, DCDirNode
+from ..core.tree import DCTree
+from ..cube.aggregation import AggregateVector
+from ..cube.record import DataRecord
+from ..cube.schema import CubeSchema, Dimension, Measure
+from ..errors import StorageError
+from ..scan.table import FlatTable
+from ..warehouse import Warehouse
+from ..xtree.mbr import MBR
+from ..xtree.node import XDataNode, XDirNode
+from ..xtree.tree import XTree
+from . import format as fmt
+
+# ----------------------------------------------------------------------
+# schema & hierarchy sections
+# ----------------------------------------------------------------------
+
+
+def _schema_to_dict(schema):
+    return {
+        "dimensions": [
+            {"name": dim.name, "levels": list(dim.level_names)}
+            for dim in schema.dimensions
+        ],
+        "measures": [measure.name for measure in schema.measures],
+    }
+
+
+def _schema_from_dict(data):
+    return CubeSchema(
+        dimensions=[
+            Dimension(entry["name"], tuple(entry["levels"]))
+            for entry in data["dimensions"]
+        ],
+        measures=[Measure(name) for name in data["measures"]],
+    )
+
+
+def _hierarchies_to_list(schema):
+    return [
+        dim.hierarchy.dump_nodes() for dim in schema.dimensions
+    ]
+
+
+def _restore_hierarchies(schema, rows_per_dimension):
+    if len(rows_per_dimension) != schema.n_dimensions:
+        raise StorageError(
+            "file has %d hierarchies, schema has %d dimensions"
+            % (len(rows_per_dimension), schema.n_dimensions)
+        )
+    for dim, rows in zip(schema.dimensions, rows_per_dimension):
+        dim.hierarchy.restore_nodes(rows)
+
+
+# ----------------------------------------------------------------------
+# shared leaf pieces
+# ----------------------------------------------------------------------
+
+
+def _record_to_list(record):
+    return [[list(path) for path in record.paths], list(record.measures)]
+
+
+def _record_from_list(data):
+    paths, measures = data
+    return DataRecord(
+        tuple(tuple(path) for path in paths), tuple(measures)
+    )
+
+
+def _aggregate_to_list(aggregate):
+    rows = []
+    for summary in aggregate.summaries:
+        if summary.count == 0:
+            rows.append([0.0, 0, None, None])
+        else:
+            rows.append([summary.sum, summary.count, summary.min,
+                         summary.max])
+    return rows
+
+
+def _aggregate_from_list(rows):
+    vector = AggregateVector(len(rows))
+    for summary, (sum_, count, min_, max_) in zip(vector.summaries, rows):
+        summary.sum = sum_
+        summary.count = count
+        summary.min = math.inf if min_ is None else min_
+        summary.max = -math.inf if max_ is None else max_
+    return vector
+
+
+def _mds_to_list(mds):
+    return [
+        [sorted(mds.value_set(dim)), mds.level(dim)]
+        for dim in range(mds.n_dimensions)
+    ]
+
+
+def _mds_from_list(rows):
+    return MDS([set(values) for values, _level in rows],
+               [level for _values, level in rows])
+
+
+# ----------------------------------------------------------------------
+# DC-tree
+# ----------------------------------------------------------------------
+
+
+def _dc_node_to_dict(node):
+    base = {
+        "blocks": node.n_blocks,
+        "mds": _mds_to_list(node.mds),
+        "agg": _aggregate_to_list(node.aggregate),
+    }
+    if node.is_leaf:
+        base["type"] = fmt.DATA_NODE
+        base["records"] = [_record_to_list(r) for r in node.records]
+    else:
+        base["type"] = fmt.DIR_NODE
+        base["children"] = [_dc_node_to_dict(c) for c in node.children]
+    return base
+
+
+def _dc_node_from_dict(data, tree):
+    mds = _mds_from_list(data["mds"])
+    aggregate = _aggregate_from_list(data["agg"])
+    if data["type"] == fmt.DATA_NODE:
+        node = DCDataNode(
+            mds, aggregate, tree.tracker.new_page_id(),
+            records=[_record_from_list(r) for r in data["records"]],
+        )
+    elif data["type"] == fmt.DIR_NODE:
+        node = DCDirNode(
+            mds, aggregate, tree.tracker.new_page_id(),
+            children=[_dc_node_from_dict(c, tree) for c in data["children"]],
+        )
+    else:
+        raise StorageError("unknown node type %r" % (data.get("type"),))
+    node.n_blocks = data["blocks"]
+    return node
+
+
+def _dc_config_to_dict(config):
+    return {
+        "dir_capacity": config.dir_capacity,
+        "leaf_capacity": config.leaf_capacity,
+        "min_fanout_fraction": config.min_fanout_fraction,
+        "max_overlap_fraction": config.max_overlap_fraction,
+        "split_algorithm": config.split_algorithm,
+        "use_materialized_aggregates": config.use_materialized_aggregates,
+        "capacity_mode": config.capacity_mode,
+    }
+
+
+def _dc_tree_to_dict(tree):
+    return {
+        "root": _dc_node_to_dict(tree.root),
+        "config": _dc_config_to_dict(tree.config),
+    }
+
+
+def _dc_tree_from_dict(data, schema, config=None):
+    if config is None and "config" in data:
+        # Restore the saved configuration - capacities in particular must
+        # match the stored structure (a node legal at dir_capacity 64 is
+        # overfull at the default 16).
+        config = DCTreeConfig(**data["config"])
+    tree = DCTree(schema, config=config)
+    tree._root = _dc_node_from_dict(data["root"], tree)
+    tree._n_records = tree._root.aggregate.count
+    return tree
+
+
+# ----------------------------------------------------------------------
+# X-tree
+# ----------------------------------------------------------------------
+
+
+def _x_node_to_dict(node):
+    base = {
+        "blocks": node.n_blocks,
+        "mbr": [list(node.mbr.lows), list(node.mbr.highs)],
+        "history": sorted(node.split_history),
+    }
+    if node.is_leaf:
+        base["type"] = fmt.DATA_NODE
+        base["records"] = [_record_to_list(r) for _p, r in node.entries]
+    else:
+        base["type"] = fmt.DIR_NODE
+        base["children"] = [_x_node_to_dict(c) for c in node.children]
+    return base
+
+
+def _x_node_from_dict(data, tree):
+    mbr = MBR(data["mbr"][0], data["mbr"][1])
+    if data["type"] == fmt.DATA_NODE:
+        records = [_record_from_list(r) for r in data["records"]]
+        node = XDataNode(
+            mbr, tree.tracker.new_page_id(),
+            entries=[(r.flat_point(), r) for r in records],
+        )
+    elif data["type"] == fmt.DIR_NODE:
+        node = XDirNode(
+            mbr, tree.tracker.new_page_id(),
+            children=[_x_node_from_dict(c, tree) for c in data["children"]],
+        )
+    else:
+        raise StorageError("unknown node type %r" % (data.get("type"),))
+    node.n_blocks = data["blocks"]
+    node.split_history = frozenset(data["history"])
+    return node
+
+
+def _x_config_to_dict(config):
+    return {
+        "dir_capacity": config.dir_capacity,
+        "leaf_capacity": config.leaf_capacity,
+        "min_fanout_fraction": config.min_fanout_fraction,
+        "max_overlap_fraction": config.max_overlap_fraction,
+    }
+
+
+def _x_tree_to_dict(tree):
+    return {
+        "root": _x_node_to_dict(tree.root),
+        "count": len(tree),
+        "config": _x_config_to_dict(tree.config),
+    }
+
+
+def _x_tree_from_dict(data, schema, config=None):
+    if config is None and "config" in data:
+        config = XTreeConfig(**data["config"])
+    tree = XTree(schema, config=config)
+    tree._root = _x_node_from_dict(data["root"], tree)
+    tree._n_records = data["count"]
+    tree._root_empty = data["count"] == 0
+    return tree
+
+
+# ----------------------------------------------------------------------
+# scan
+# ----------------------------------------------------------------------
+
+
+def _scan_to_dict(table):
+    return {"records": [_record_to_list(r) for r in table.records()]}
+
+
+def _scan_from_dict(data, schema):
+    table = FlatTable(schema)
+    for row in data["records"]:
+        table.insert(_record_from_list(row))
+    table.tracker.reset(clear_buffer=True)
+    return table
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+
+def warehouse_to_dict(warehouse):
+    """The warehouse as one JSON-serializable dict."""
+    if warehouse.backend == "dc-tree":
+        index = _dc_tree_to_dict(warehouse.index)
+    elif warehouse.backend == "x-tree":
+        index = _x_tree_to_dict(warehouse.index)
+    else:
+        index = _scan_to_dict(warehouse.index)
+    return {
+        "meta": {
+            "version": fmt.FORMAT_VERSION,
+            "backend": warehouse.backend,
+            "records": len(warehouse),
+        },
+        "schema": _schema_to_dict(warehouse.schema),
+        "hierarchies": _hierarchies_to_list(warehouse.schema),
+        "index": index,
+    }
+
+
+def warehouse_from_dict(data, config=None):
+    """Restore a warehouse from :func:`warehouse_to_dict` output."""
+    fmt.check_version(data.get("meta", {}))
+    backend = data["meta"]["backend"]
+    schema = _schema_from_dict(data["schema"])
+    _restore_hierarchies(schema, data["hierarchies"])
+    if backend == "dc-tree":
+        index = _dc_tree_from_dict(data["index"], schema, config)
+    elif backend == "x-tree":
+        index = _x_tree_from_dict(data["index"], schema, config)
+    elif backend == "scan":
+        index = _scan_from_dict(data["index"], schema)
+    else:
+        raise StorageError("unknown backend %r in warehouse file" % backend)
+    warehouse = Warehouse.wrap(index)
+    if len(warehouse.index) != data["meta"]["records"]:
+        raise StorageError(
+            "record count mismatch: meta says %d, index holds %d"
+            % (data["meta"]["records"], len(warehouse.index))
+        )
+    return warehouse
+
+
+def save_warehouse(warehouse, path):
+    """Write the warehouse to ``path`` (JSON)."""
+    with open(path, "w") as handle:
+        json.dump(warehouse_to_dict(warehouse), handle)
+
+
+def load_warehouse(path, config=None):
+    """Read a warehouse back from ``path``.
+
+    ``config`` optionally overrides the tree configuration of the loaded
+    index (capacities must be compatible with the stored structure: a
+    loaded node may exceed a smaller capacity until its next split).
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    return warehouse_from_dict(data, config=config)

@@ -1,0 +1,5 @@
+"""SQL-ish query language over warehouses."""
+
+from .sql import QuerySpec, execute, parse
+
+__all__ = ["QuerySpec", "execute", "parse"]

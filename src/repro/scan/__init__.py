@@ -1,0 +1,5 @@
+"""Sequential-scan baseline."""
+
+from .table import FlatTable
+
+__all__ = ["FlatTable"]

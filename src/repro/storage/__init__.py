@@ -1,0 +1,43 @@
+"""Simulated paged storage: block sizes, LRU buffering, access counters.
+
+The paper evaluated disk-resident trees; this substrate lets the in-memory
+reimplementation report the page-level behaviour (accesses, buffer misses,
+footprints) a disk-resident deployment would exhibit.
+"""
+
+from .buffer import BufferPool
+from .page import (
+    ID_BYTES,
+    LEVEL_BYTES,
+    MEASURE_BYTES,
+    NODE_HEADER_BYTES,
+    POINTER_BYTES,
+    SUMMARY_BYTES,
+    dc_directory_entry_bytes,
+    dc_record_bytes,
+    mbr_bytes,
+    mds_bytes,
+    pages_for,
+    x_directory_entry_bytes,
+    x_record_bytes,
+)
+from .tracker import AccessStats, StorageTracker
+
+__all__ = [
+    "AccessStats",
+    "BufferPool",
+    "ID_BYTES",
+    "LEVEL_BYTES",
+    "MEASURE_BYTES",
+    "NODE_HEADER_BYTES",
+    "POINTER_BYTES",
+    "SUMMARY_BYTES",
+    "StorageTracker",
+    "dc_directory_entry_bytes",
+    "dc_record_bytes",
+    "mbr_bytes",
+    "mds_bytes",
+    "pages_for",
+    "x_directory_entry_bytes",
+    "x_record_bytes",
+]

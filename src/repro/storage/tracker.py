@@ -1,0 +1,125 @@
+"""Access tracking: node visits, page I/O, CPU work units.
+
+Every index structure in this package owns one :class:`StorageTracker`.
+Algorithms report node visits and CPU-ish work (set operations on attribute
+values) to it; experiments read the counters and convert them into a
+simulated elapsed time through :class:`~repro.config.CostModel`.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel, StorageConfig
+from .buffer import BufferPool
+
+
+class AccessStats:
+    """Immutable snapshot of the tracker's counters."""
+
+    __slots__ = ("node_accesses", "buffer_hits", "buffer_misses",
+                 "page_writes", "cpu_units")
+
+    def __init__(self, node_accesses, buffer_hits, buffer_misses,
+                 page_writes, cpu_units):
+        self.node_accesses = node_accesses
+        self.buffer_hits = buffer_hits
+        self.buffer_misses = buffer_misses
+        self.page_writes = page_writes
+        self.cpu_units = cpu_units
+
+    def __sub__(self, earlier):
+        return AccessStats(
+            self.node_accesses - earlier.node_accesses,
+            self.buffer_hits - earlier.buffer_hits,
+            self.buffer_misses - earlier.buffer_misses,
+            self.page_writes - earlier.page_writes,
+            self.cpu_units - earlier.cpu_units,
+        )
+
+    @property
+    def page_ios(self):
+        """Total page I/Os: read misses plus write-backs."""
+        return self.buffer_misses + self.page_writes
+
+    def simulated_seconds(self, cost_model=None):
+        """Simulated elapsed time of the counted events."""
+        model = cost_model if cost_model is not None else CostModel()
+        return model.simulated_seconds(self.page_ios, self.cpu_units)
+
+    def __repr__(self):
+        return (
+            "AccessStats(nodes=%d, hits=%d, misses=%d, writes=%d, cpu=%d)"
+            % (self.node_accesses, self.buffer_hits, self.buffer_misses,
+               self.page_writes, self.cpu_units)
+        )
+
+
+class StorageTracker:
+    """Counts node accesses and CPU units behind an LRU buffer pool."""
+
+    def __init__(self, storage_config=None):
+        config = storage_config if storage_config is not None else StorageConfig()
+        self.config = config
+        self.buffer = BufferPool(config.buffer_pages)
+        self.node_accesses = 0
+        self.page_writes = 0
+        self.cpu_units = 0
+        self._next_page_id = 0
+
+    # -- page lifecycle -------------------------------------------------
+
+    def new_page_id(self):
+        """Allocate a fresh page ID for a new node."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        return page_id
+
+    def free_node(self, page_id, n_blocks=1):
+        """Drop a destroyed node's pages from the buffer."""
+        self.buffer.evict(page_id, n_blocks)
+
+    # -- event reporting -------------------------------------------------
+
+    def access_node(self, page_id, n_blocks=1):
+        """Record one visit of a node occupying ``n_blocks`` pages."""
+        self.node_accesses += 1
+        self.buffer.access_run(page_id, n_blocks)
+
+    def write_node(self, page_id, n_pages=1):
+        """Record an in-place update of a node (write-through model).
+
+        Dynamic single-record updates are what the DC-tree exists for, so
+        updates are modeled write-through: every logical node update costs
+        ``n_pages`` page writes (a supernode's measure/MDS entry update
+        touches one block, so callers normally pass 1).  Writers access the
+        node before updating it, so the read side is already accounted;
+        this only counts the write-back.
+        """
+        self.page_writes += n_pages
+
+    def cpu(self, units):
+        """Record ``units`` of CPU work (attribute-value set operations)."""
+        self.cpu_units += units
+
+    # -- reading ----------------------------------------------------------
+
+    def snapshot(self):
+        """Current counters as an immutable :class:`AccessStats`."""
+        return AccessStats(
+            self.node_accesses,
+            self.buffer.hits,
+            self.buffer.misses,
+            self.page_writes,
+            self.cpu_units,
+        )
+
+    def reset(self, clear_buffer=False):
+        """Zero the counters; optionally also empty the buffer pool."""
+        self.node_accesses = 0
+        self.page_writes = 0
+        self.cpu_units = 0
+        self.buffer.reset_counters()
+        if clear_buffer:
+            self.buffer.clear()
+
+    def __repr__(self):
+        return "StorageTracker(%r)" % (self.snapshot(),)

@@ -1,0 +1,13 @@
+"""TPC-D-style substrate: schema of Fig. 8/9 and a deterministic generator."""
+
+from .generator import TPCDGenerator
+from .schema import CUSTOMER, PART, SUPPLIER, TIME, make_tpcd_schema
+
+__all__ = [
+    "CUSTOMER",
+    "PART",
+    "SUPPLIER",
+    "TIME",
+    "TPCDGenerator",
+    "make_tpcd_schema",
+]

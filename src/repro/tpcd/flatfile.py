@@ -1,0 +1,162 @@
+"""Flat insert files (§5.1 of the paper).
+
+"The intended data cube is created by SQL select operations on the TPC-D
+database.  The output of these operations is stored in a flatfile which
+functions as the insert file for the DC-tree and for the two other index
+structures."
+
+The format is TPC-D ``.tbl``-style, pipe-delimited text, one record per
+line, with a small self-describing header so a reader can rebuild the
+cube schema (dimension labels are stored, IDs are reassigned on read —
+concept hierarchies are *dynamic*, §3.1, so this loses nothing):
+
+    #dcube 1
+    #dimension Customer|Custkey|MktSegment|Nation|Region
+    ...
+    #measure ExtendedPrice
+    EUROPE|GERMANY|BUILDING|Customer#000001|...|4200.0
+
+Values are ordered per dimension from the highest functional attribute
+down to the leaf, matching :meth:`CubeSchema.record`.
+"""
+
+from __future__ import annotations
+
+from ..cube.schema import CubeSchema, Dimension, Measure
+from ..errors import SchemaError, StorageError
+
+#: Magic first line (with format version).
+_MAGIC = "#dcube 1"
+_DELIMITER = "|"
+_ESCAPED = "\\u007c"
+
+
+def _escape(label):
+    return str(label).replace(_DELIMITER, _ESCAPED)
+
+
+def _unescape(field):
+    return field.replace(_ESCAPED, _DELIMITER)
+
+
+def write_flatfile(path, schema, records):
+    """Write ``records`` to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(_MAGIC + "\n")
+        for dimension in schema.dimensions:
+            handle.write(
+                "#dimension %s\n"
+                % _DELIMITER.join(
+                    [_escape(dimension.name)]
+                    + [_escape(name) for name in dimension.level_names]
+                )
+            )
+        for measure in schema.measures:
+            handle.write("#measure %s\n" % _escape(measure.name))
+        for record in records:
+            fields = []
+            for dim_index, path_ids in enumerate(record.paths):
+                hierarchy = schema.hierarchy(dim_index)
+                fields.extend(
+                    _escape(hierarchy.label(v)) for v in path_ids
+                )
+            fields.extend("%r" % m for m in record.measures)
+            handle.write(_DELIMITER.join(fields) + "\n")
+            count += 1
+    return count
+
+
+def read_schema(path):
+    """Read only the schema header of a flat file."""
+    dimensions = []
+    measures = []
+    with open(path) as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise StorageError(
+                "%s is not a dcube flat file (bad magic %r)" % (path, first)
+            )
+        for line in handle:
+            line = line.rstrip("\n")
+            if line.startswith("#dimension "):
+                fields = [
+                    _unescape(f)
+                    for f in line[len("#dimension "):].split(_DELIMITER)
+                ]
+                if len(fields) < 2:
+                    raise StorageError("malformed dimension header: %r" % line)
+                dimensions.append(Dimension(fields[0], tuple(fields[1:])))
+            elif line.startswith("#measure "):
+                measures.append(Measure(_unescape(line[len("#measure "):])))
+            else:
+                break
+    if not dimensions or not measures:
+        raise StorageError("flat file %s has an incomplete header" % path)
+    return CubeSchema(dimensions, measures)
+
+
+def read_flatfile(path, schema=None):
+    """Read records from ``path``; returns ``(schema, records)``.
+
+    When ``schema`` is given, the file's header must structurally match
+    it and the records are inserted into *its* hierarchies (useful to
+    feed several indexes over one shared schema); otherwise a fresh
+    schema is built from the header.
+    """
+    file_schema = read_schema(path)
+    if schema is None:
+        schema = file_schema
+    else:
+        _check_compatible(schema, file_schema)
+    n_fields = schema.n_flat_attributes + schema.n_measures
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(_DELIMITER)
+            if len(fields) != n_fields:
+                raise StorageError(
+                    "%s:%d: expected %d fields, found %d"
+                    % (path, line_number, n_fields, len(fields))
+                )
+            position = 0
+            dimension_values = []
+            for dimension in schema.dimensions:
+                width = dimension.n_attributes
+                dimension_values.append(
+                    tuple(
+                        _unescape(f)
+                        for f in fields[position:position + width]
+                    )
+                )
+                position += width
+            try:
+                measures = tuple(float(f) for f in fields[position:])
+            except ValueError:
+                raise StorageError(
+                    "%s:%d: non-numeric measure value" % (path, line_number)
+                ) from None
+            records.append(schema.record(dimension_values, measures))
+    return schema, records
+
+
+def _check_compatible(schema, file_schema):
+    if schema.n_dimensions != file_schema.n_dimensions:
+        raise SchemaError(
+            "flat file has %d dimensions, schema has %d"
+            % (file_schema.n_dimensions, schema.n_dimensions)
+        )
+    for mine, theirs in zip(schema.dimensions, file_schema.dimensions):
+        if mine.level_names != theirs.level_names:
+            raise SchemaError(
+                "dimension %r level mismatch: %r vs %r"
+                % (mine.name, mine.level_names, theirs.level_names)
+            )
+    if schema.n_measures != file_schema.n_measures:
+        raise SchemaError(
+            "flat file has %d measures, schema has %d"
+            % (file_schema.n_measures, schema.n_measures)
+        )

@@ -1,0 +1,81 @@
+"""TPC-D domain vocabularies.
+
+The literal value domains of the TPC Benchmark D specification (revision
+1.3.1) that the paper's simplified schema (Fig. 8/9) draws from: regions,
+nations with their region assignment, market segments, part brands and the
+three-syllable part types.
+"""
+
+from __future__ import annotations
+
+#: The five TPC-D regions.
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: The 25 TPC-D nations, each mapped to its region.
+NATION_REGIONS = (
+    ("ALGERIA", "AFRICA"),
+    ("ARGENTINA", "AMERICA"),
+    ("BRAZIL", "AMERICA"),
+    ("CANADA", "AMERICA"),
+    ("EGYPT", "MIDDLE EAST"),
+    ("ETHIOPIA", "AFRICA"),
+    ("FRANCE", "EUROPE"),
+    ("GERMANY", "EUROPE"),
+    ("INDIA", "ASIA"),
+    ("INDONESIA", "ASIA"),
+    ("IRAN", "MIDDLE EAST"),
+    ("IRAQ", "MIDDLE EAST"),
+    ("JAPAN", "ASIA"),
+    ("JORDAN", "MIDDLE EAST"),
+    ("KENYA", "AFRICA"),
+    ("MOROCCO", "AFRICA"),
+    ("MOZAMBIQUE", "AFRICA"),
+    ("PERU", "AMERICA"),
+    ("CHINA", "ASIA"),
+    ("ROMANIA", "EUROPE"),
+    ("SAUDI ARABIA", "MIDDLE EAST"),
+    ("VIETNAM", "ASIA"),
+    ("RUSSIA", "EUROPE"),
+    ("UNITED KINGDOM", "EUROPE"),
+    ("UNITED STATES", "AMERICA"),
+)
+
+#: The five TPC-D market segments (repeated under every nation, Fig. 9).
+MARKET_SEGMENTS = (
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+)
+
+#: The 25 TPC-D part brands: Brand#MN with M, N in 1..5.
+BRANDS = tuple(
+    "Brand#%d%d" % (m, n) for m in range(1, 6) for n in range(1, 6)
+)
+
+#: TPC-D part-type syllables; a type is one word from each list.
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+#: All 150 TPC-D part types.
+PART_TYPES = tuple(
+    "%s %s %s" % (s1, s2, s3)
+    for s1 in TYPE_SYLLABLE_1
+    for s2 in TYPE_SYLLABLE_2
+    for s3 in TYPE_SYLLABLE_3
+)
+
+#: TPC-D order/ship dates span 1992-1998.
+YEARS = tuple(range(1992, 1999))
+MONTHS = tuple(range(1, 13))
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def days_in_month(year, month):
+    """Days of ``month`` in ``year`` (Gregorian, TPC-D date range)."""
+    if month == 2 and year % 4 == 0 and (year % 100 != 0 or year % 400 == 0):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]

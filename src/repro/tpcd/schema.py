@@ -1,0 +1,35 @@
+"""The test data cube of the paper (Figures 8 and 9).
+
+Four dimensions with the following hierarchy schemata (leaf level first,
+level numbers in brackets):
+
+* Customer: Custkey [0] < MktSegment [1] < Nation [2] < Region [3]
+* Supplier: Suppkey [0] < Nation [1] < Region [2]
+* Part:     Partkey [0] < Type [1] < Brand [2]
+* Time:     Day [0] < Month [1] < Year [2]
+
+plus the measure *Extended Price* — 13 functional attributes overall,
+which is exactly the dimensionality of the X-tree in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from ..cube.schema import CubeSchema, Dimension, Measure
+
+#: Dimension indices in the TPC-D cube (schema order).
+CUSTOMER, SUPPLIER, PART, TIME = range(4)
+
+
+def make_tpcd_schema():
+    """A fresh (empty) TPC-D cube schema; hierarchies fill dynamically."""
+    return CubeSchema(
+        dimensions=[
+            Dimension(
+                "Customer", ("Custkey", "MktSegment", "Nation", "Region")
+            ),
+            Dimension("Supplier", ("Suppkey", "Nation", "Region")),
+            Dimension("Part", ("Partkey", "Type", "Brand")),
+            Dimension("Time", ("Day", "Month", "Year")),
+        ],
+        measures=[Measure("ExtendedPrice")],
+    )

@@ -1,0 +1,22 @@
+"""The X-tree baseline: MBR geometry, splits with split history, tree."""
+
+from .mbr import MBR
+from .node import XDataNode, XDirNode
+from .split import (
+    XSplitPlan,
+    overlap_minimal_split,
+    overlap_ratio,
+    topological_split,
+)
+from .tree import XTree
+
+__all__ = [
+    "MBR",
+    "XDataNode",
+    "XDirNode",
+    "XSplitPlan",
+    "XTree",
+    "overlap_minimal_split",
+    "overlap_ratio",
+    "topological_split",
+]

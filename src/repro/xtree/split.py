@@ -1,0 +1,147 @@
+"""X-tree split algorithms (Berchtold, Keim, Kriegel; VLDB 1996).
+
+The X-tree first attempts the *topological* split (the R*-tree split:
+choose the axis with the smallest margin sum, then the distribution with
+the least overlap).  When the result still overlaps too much, it tries an
+*overlap-minimal* split along a dimension recorded in the split history of
+**all** entries — along such a dimension the entries partition without
+overlap.  When that split would be too unbalanced, the node becomes a
+supernode.
+"""
+
+from __future__ import annotations
+
+from .mbr import MBR
+
+
+class XSplitPlan:
+    """Two index groups plus the dimension the split was performed along."""
+
+    __slots__ = ("groups", "dimension", "kind")
+
+    def __init__(self, groups, dimension, kind):
+        self.groups = groups
+        self.dimension = dimension
+        self.kind = kind
+
+
+def topological_split(mbrs, min_group):
+    """R*-tree split of ``mbrs``; returns an :class:`XSplitPlan`.
+
+    ``min_group`` bounds the smaller side of every considered distribution
+    (the R*-tree's ``m``).  Always succeeds (point data cannot defeat it),
+    but the result may overlap badly — the caller judges that.
+    """
+    n = len(mbrs)
+    n_dims = mbrs[0].n_dimensions
+    max_group = n - min_group
+
+    best_axis = None
+    best_margin = None
+    for axis in range(n_dims):
+        margin_sum = 0.0
+        for order in _axis_orders(mbrs, axis):
+            prefix, suffix = _running_covers(mbrs, order)
+            for k in range(min_group, max_group + 1):
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin()
+        if best_margin is None or margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+
+    best_plan = None
+    best_key = None
+    for order in _axis_orders(mbrs, best_axis):
+        prefix, suffix = _running_covers(mbrs, order)
+        for k in range(min_group, max_group + 1):
+            left = prefix[k - 1]
+            right = suffix[k]
+            key = (
+                left.overlap_volume_plus_one(right),
+                left.volume_plus_one() + right.volume_plus_one(),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_plan = XSplitPlan(
+                    (list(order[:k]), list(order[k:])), best_axis, "topological"
+                )
+    return best_plan
+
+
+def _running_covers(mbrs, order):
+    """Prefix and suffix covers of ``mbrs`` along ``order``.
+
+    ``prefix[i]`` covers ``order[:i+1]``; ``suffix[i]`` covers
+    ``order[i:]``.  Turns the O(n²) cover recomputation of the naive
+    R*-split into O(n) per order.
+    """
+    n = len(order)
+    prefix = [None] * n
+    running = mbrs[order[0]].copy()
+    prefix[0] = running.copy()
+    for position in range(1, n):
+        running.include_mbr(mbrs[order[position]])
+        prefix[position] = running.copy()
+    suffix = [None] * (n + 1)
+    running = mbrs[order[n - 1]].copy()
+    suffix[n - 1] = running.copy()
+    for position in range(n - 2, -1, -1):
+        running.include_mbr(mbrs[order[position]])
+        suffix[position] = running.copy()
+    return prefix, suffix
+
+
+def _axis_orders(mbrs, axis):
+    """The two R*-tree sort orders of one axis: by lower and by upper edge."""
+    indices = list(range(len(mbrs)))
+    by_low = sorted(indices, key=lambda i: (mbrs[i].lows[axis],
+                                            mbrs[i].highs[axis]))
+    by_high = sorted(indices, key=lambda i: (mbrs[i].highs[axis],
+                                             mbrs[i].lows[axis]))
+    if by_low == by_high:
+        return (by_low,)
+    return (by_low, by_high)
+
+
+def overlap_ratio(group_a_mbr, group_b_mbr):
+    """Fraction of the smaller box's discrete volume shared with the other."""
+    shared = group_a_mbr.overlap_volume_plus_one(group_b_mbr)
+    if shared == 0.0:
+        return 0.0
+    smaller = min(group_a_mbr.volume_plus_one(), group_b_mbr.volume_plus_one())
+    if smaller <= 0.0:
+        return 1.0
+    return shared / smaller
+
+
+def overlap_minimal_split(children, min_group):
+    """Split-history based split; returns a plan or None.
+
+    A dimension occurring in the split history of *every* child guarantees
+    an overlap-free partitioning along it (every child's MBR lies entirely
+    on one side of some historical split hyperplane).  We sort by center
+    along such a dimension and cut where the two sides stop overlapping,
+    preferring the most balanced overlap-free cut; ``None`` when no common
+    dimension exists or every cut is too unbalanced (→ supernode).
+    """
+    histories = [child.split_history for child in children]
+    common = frozenset.intersection(*histories) if histories else frozenset()
+    best_plan = None
+    best_balance = None
+    n = len(children)
+    for dim in sorted(common):
+        order = sorted(
+            range(n), key=lambda i: (children[i].mbr.lows[dim],
+                                     children[i].mbr.highs[dim])
+        )
+        for k in range(min_group, n - min_group + 1):
+            left_high = max(children[i].mbr.highs[dim] for i in order[:k])
+            right_low = min(children[i].mbr.lows[dim] for i in order[k:])
+            if left_high > right_low:
+                continue
+            balance = abs(n - 2 * k)
+            if best_balance is None or balance < best_balance:
+                best_balance = balance
+                best_plan = XSplitPlan(
+                    (order[:k], order[k:]), dim, "overlap-minimal"
+                )
+    return best_plan

@@ -1,0 +1,273 @@
+"""Tests for the benchmark harness (tiny scales, shape assertions)."""
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.ablations import (
+    ablation_capacity,
+    ablation_measures,
+    ablation_split,
+)
+from repro.bench.fig11 import fig11a_rows, fig11b_rows
+from repro.bench.fig12 import PANELS, fig12_rows, selectivity_profile
+from repro.bench.fig13 import fig13_rows
+from repro.bench.reporting import format_speedup, format_table, speedup
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return harness.run_combined_sweep(
+        sizes=(300, 600), selectivities=(0.05, 0.25), n_queries=5, seed=0
+    )
+
+
+class TestCombinedSweep:
+    def test_checkpoints_match_sizes(self, tiny_sweep):
+        assert [p.n_records for p in tiny_sweep.checkpoints] == [300, 600]
+
+    def test_checkpoint_lookup(self, tiny_sweep):
+        assert tiny_sweep.checkpoint(600).n_records == 600
+        with pytest.raises(KeyError):
+            tiny_sweep.checkpoint(999)
+
+    def test_insert_times_cumulative(self, tiny_sweep):
+        for backend in tiny_sweep.backends:
+            first = tiny_sweep.checkpoints[0].insert_seconds[backend]
+            second = tiny_sweep.checkpoints[1].insert_seconds[backend]
+            assert second >= first > 0
+
+    def test_query_measurements_present(self, tiny_sweep):
+        point = tiny_sweep.checkpoints[-1]
+        for backend in tiny_sweep.backends:
+            for selectivity in tiny_sweep.selectivities:
+                measurement = point.queries[(backend, selectivity)]
+                assert measurement.wall_seconds > 0
+                assert measurement.node_accesses > 0
+                assert measurement.simulated_seconds > 0
+
+    def test_dc_stats_collected(self, tiny_sweep):
+        for point in tiny_sweep.checkpoints:
+            assert point.dc_stats is not None
+            assert point.dc_stats.n_records == point.n_records
+
+    def test_dc_tree_beats_scan_on_low_selectivity(self, tiny_sweep):
+        point = tiny_sweep.checkpoints[-1]
+        dc = point.queries[("dc-tree", 0.05)]
+        scan = point.queries[("scan", 0.05)]
+        assert dc.simulated_seconds < scan.simulated_seconds
+
+
+class TestFigureRows:
+    def test_fig11a_rows(self, tiny_sweep):
+        rows = fig11a_rows(tiny_sweep)
+        assert len(rows) == 2
+        assert rows[0][0] == 300
+
+    def test_fig11b_rows(self, tiny_sweep):
+        rows = fig11b_rows(tiny_sweep)
+        assert all(per_record > 0 for _n, per_record in rows)
+
+    def test_fig12_rows_all_panels(self, tiny_sweep):
+        for panel, (selectivity, competitor) in PANELS.items():
+            if selectivity not in tiny_sweep.selectivities:
+                continue
+            rows = fig12_rows(tiny_sweep, selectivity, competitor)
+            assert len(rows) == len(tiny_sweep.checkpoints)
+
+    def test_fig13_rows(self, tiny_sweep):
+        rows = fig13_rows(tiny_sweep)
+        assert len(rows) == 2
+        for row in rows:
+            assert row[4] >= 1  # height
+
+    def test_selectivity_profile(self, tiny_sweep):
+        profile = selectivity_profile(tiny_sweep)
+        assert set(profile) == set(tiny_sweep.selectivities)
+
+
+class TestHelpers:
+    def test_make_backend_unknown(self):
+        from repro import make_tpcd_schema
+
+        with pytest.raises(ValueError):
+            harness.make_backend("btree", make_tpcd_schema())
+
+    def test_cached_sweep_memoizes(self):
+        harness._SWEEP_CACHE.clear()
+        first = harness.cached_sweep(
+            sizes=(100,), selectivities=(0.25,), n_queries=2, seed=1
+        )
+        second = harness.cached_sweep(
+            sizes=(100,), selectivities=(0.25,), n_queries=2, seed=1
+        )
+        assert first is second
+
+
+class TestAblations:
+    def test_split_ablation_rows(self):
+        rows = ablation_split(n_records=200, n_queries=3)
+        assert [row[0] for row in rows] == ["quadratic", "linear"]
+        for row in rows:
+            assert row[1] > 0
+
+    def test_measures_ablation_rows(self):
+        rows = ablation_measures(n_records=200, n_queries=3)
+        assert [row[1] for row in rows] == ["on", "off", "on", "off"]
+        # Turning aggregates off can never *reduce* node accesses.
+        assert rows[1][4] >= rows[0][4]
+        assert rows[3][4] >= rows[2][4]
+
+    def test_capacity_ablation_rows(self):
+        rows = ablation_capacity(
+            n_records=200, n_queries=3, capacities=((8, 16), (16, 32))
+        )
+        assert len(rows) == 2
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        table = format_table(("a", "bb"), [(1, 2.5), (10, 0.25)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_with_title(self):
+        table = format_table(("x",), [(1,)], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) is None
+
+    def test_format_speedup(self):
+        assert format_speedup(4.5) == "4.5x"
+        assert format_speedup(None) == "n/a"
+
+
+class TestCli:
+    def test_main_quick_fig13(self, capsys):
+        from repro.bench.__main__ import main
+
+        harness._SWEEP_CACHE.clear()
+        code = main(["fig13", "--sizes", "150,300", "--queries", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+
+    def test_main_ablation(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["abl-measures", "--quick"])
+        assert code == 0
+        assert "Ablation" in capsys.readouterr().out
+
+
+class TestChart:
+    def test_renders_markers_and_legend(self):
+        from repro.bench.reporting import format_chart
+
+        chart = format_chart(
+            [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}
+        )
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_axis_labels(self):
+        from repro.bench.reporting import format_chart
+
+        chart = format_chart([10, 30], {"s": [0.0, 100.0]}, title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "100" in chart
+        assert "10" in chart and "30" in chart
+
+    def test_empty_series(self):
+        from repro.bench.reporting import format_chart
+
+        assert format_chart([], {}) == "(no data)"
+
+    def test_single_point(self):
+        from repro.bench.reporting import format_chart
+
+        chart = format_chart([5], {"s": [1.0]})
+        assert "*" in chart
+
+    def test_constant_series_no_crash(self):
+        from repro.bench.reporting import format_chart
+
+        chart = format_chart([1, 2], {"s": [4.0, 4.0]})
+        assert "*" in chart
+
+
+class TestVerdict:
+    def _synthetic_sweep(self):
+        """A fabricated sweep embodying the paper's shapes exactly."""
+        from repro.bench.harness import Checkpoint, QueryMeasurement, SweepResult
+        from repro.core.stats import LevelStats, TreeStats
+
+        sweep = SweepResult(
+            sizes=(100, 200), selectivities=(0.01, 0.05, 0.25),
+            n_queries=5, backends=("dc-tree", "x-tree", "scan"), seed=0,
+        )
+        for i, n in enumerate(sweep.sizes, start=1):
+            point = Checkpoint(n)
+            point.insert_seconds = {"dc-tree": 2.0 * i, "x-tree": 1.0 * i,
+                                    "scan": 0.5 * i}
+            point.insert_simulated = {"dc-tree": 20.0 * i, "x-tree": 10.0 * i,
+                                      "scan": 5.0 * i}
+            point.per_record_seconds = {"dc-tree": 0.001, "x-tree": 0.0005,
+                                        "scan": 0.0001}
+            for selectivity in sweep.selectivities:
+                dc_cost = selectivity * i
+                factors = {"x-tree": 30.0 / (selectivity * 100),
+                           "scan": 1.0 + i * 0.2}
+                for backend in sweep.backends:
+                    factor = factors.get(backend, 1.0)
+                    point.queries[(backend, selectivity)] = QueryMeasurement(
+                        wall_seconds=dc_cost * factor,
+                        node_accesses=10,
+                        buffer_misses=5,
+                        cpu_units=100,
+                        simulated_seconds=dc_cost * factor,
+                    )
+            levels = [LevelStats(0), LevelStats(1), LevelStats(2)]
+            levels[0].n_nodes, levels[0].n_entries = 1, 2
+            levels[1].n_nodes, levels[1].n_entries = 2, 40 * i
+            levels[1].n_supernodes = i
+            levels[1].n_blocks = 2 * i
+            levels[2].n_nodes, levels[2].n_entries = 10, 450
+            point.dc_stats = TreeStats(levels, n_records=n, height=3)
+            sweep.checkpoints.append(point)
+        return sweep
+
+    def test_all_claims_pass_on_ideal_shapes(self):
+        from repro.bench.verdict import evaluate_claims
+
+        claims = evaluate_claims(self._synthetic_sweep())
+        failing = [c.row() for c in claims if not c.passed]
+        assert not failing, failing
+
+    def test_detects_inverted_winner(self):
+        from repro.bench.verdict import evaluate_claims
+
+        sweep = self._synthetic_sweep()
+        for point in sweep.checkpoints:
+            # Make the X-tree insert *more* expensive than the DC-tree.
+            point.insert_simulated["x-tree"] = (
+                point.insert_simulated["dc-tree"] * 2
+            )
+        claims = evaluate_claims(sweep)
+        failed = [c for c in claims if not c.passed]
+        assert any(c.artifact == "fig11a" for c in failed)
+
+    def test_report_renders(self):
+        import repro.bench.verdict as verdict_mod
+
+        sweep = self._synthetic_sweep()
+        claims = verdict_mod.evaluate_claims(sweep)
+        from repro.bench.reporting import format_table
+
+        table = format_table(
+            ("artifact", "claim", "verdict", "measured"),
+            [c.row() for c in claims],
+        )
+        assert "PASS" in table

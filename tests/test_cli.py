@@ -1,0 +1,128 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def loaded_warehouse(tmp_path):
+    flat = tmp_path / "cube.tbl"
+    warehouse = tmp_path / "wh.json"
+    assert main(["generate", str(flat), "--records", "300",
+                 "--seed", "2"]) == 0
+    assert main(["load", str(flat), str(warehouse)]) == 0
+    return warehouse
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "out.tbl"
+        assert main(["generate", str(path), "--records", "50"]) == 0
+        assert path.exists()
+        assert "wrote 50 records" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.tbl"
+        b = tmp_path / "b.tbl"
+        main(["generate", str(a), "--records", "30", "--seed", "9"])
+        main(["generate", str(b), "--records", "30", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestLoad:
+    def test_bulk_load_dc_tree(self, loaded_warehouse):
+        assert loaded_warehouse.exists()
+
+    def test_load_scan_backend(self, tmp_path, capsys):
+        flat = tmp_path / "cube.tbl"
+        warehouse = tmp_path / "scan.json"
+        main(["generate", str(flat), "--records", "40"])
+        assert main(["load", str(flat), str(warehouse),
+                     "--backend", "scan"]) == 0
+        assert "into a scan" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_count_matches_records(self, loaded_warehouse, capsys):
+        assert main(["query", str(loaded_warehouse), "--op", "count"]) == 0
+        assert capsys.readouterr().out.strip() == "300"
+
+    def test_where_filters(self, loaded_warehouse, capsys):
+        assert main([
+            "query", str(loaded_warehouse),
+            "--op", "count",
+            "--where", "Time.Year=1996",
+        ]) == 0
+        count = int(capsys.readouterr().out.strip())
+        assert 0 < count < 300
+
+    def test_bad_where_syntax(self, loaded_warehouse):
+        with pytest.raises(SystemExit):
+            main(["query", str(loaded_warehouse), "--where", "garbage"])
+
+    def test_unknown_label_reports_error(self, loaded_warehouse, capsys):
+        code = main([
+            "query", str(loaded_warehouse),
+            "--where", "Customer.Region=ATLANTIS",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGroupBy:
+    def test_groups_partition_count(self, loaded_warehouse, capsys):
+        assert main([
+            "groupby", str(loaded_warehouse), "Time.Year", "--op", "count",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        total = sum(int(line.split("\t")[1]) for line in lines)
+        assert total == 300
+
+    def test_bad_by_syntax(self, loaded_warehouse):
+        with pytest.raises(SystemExit):
+            main(["groupby", str(loaded_warehouse), "TimeYear"])
+
+
+class TestInspect:
+    def test_prints_profile(self, loaded_warehouse, capsys):
+        assert main(["inspect", str(loaded_warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "backend:  dc-tree" in out
+        assert "records:  300" in out
+        assert "height:" in out
+        assert "Customer" in out
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "generate" in capsys.readouterr().out
+
+
+class TestSql:
+    def test_scalar_query(self, loaded_warehouse, capsys):
+        assert main([
+            "sql", str(loaded_warehouse), "SELECT COUNT(*)",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "300"
+
+    def test_group_by_output(self, loaded_warehouse, capsys):
+        assert main([
+            "sql", str(loaded_warehouse),
+            "SELECT COUNT(*) GROUP BY Time.Year",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert sum(int(line.split("\t")[1]) for line in lines) == 300
+
+    def test_where_clause(self, loaded_warehouse, capsys):
+        assert main([
+            "sql", str(loaded_warehouse),
+            "SELECT COUNT(*) WHERE Time.Year = '1996'",
+        ]) == 0
+        assert 0 < int(capsys.readouterr().out.strip()) < 300
+
+    def test_parse_error_reported(self, loaded_warehouse, capsys):
+        code = main(["sql", str(loaded_warehouse), "SELEC SUM(x)"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

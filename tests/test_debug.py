@@ -1,0 +1,73 @@
+"""Tests for the tree dump utility."""
+
+import io
+
+from repro import DCTree, XTree
+from repro.core.debug import dump_tree
+from tests.conftest import TOY_ROWS, build_toy_schema, toy_record
+
+
+def build_trees():
+    schema = build_toy_schema()
+    dc = DCTree(schema)
+    xt = XTree(schema)
+    for row in TOY_ROWS:
+        record = toy_record(schema, *row)
+        dc.insert(record)
+        xt.insert(record)
+    return dc, xt
+
+
+class TestDumpDCTree:
+    def test_renders_root_line(self):
+        dc, _xt = build_trees()
+        text = dump_tree(dc)
+        first = text.splitlines()[0]
+        assert first.startswith("leaf(") or first.startswith("dir(")
+        assert "sum=96" in first
+
+    def test_labels_resolved(self):
+        dc, _xt = build_trees()
+        text = dump_tree(dc)
+        assert "ALL" not in text  # toy tree root shows '*' for ALL dims
+        assert "*" in text or "Country{" in text
+
+    def test_max_values_elision(self):
+        dc, _xt = build_trees()
+        text = dump_tree(dc, max_values=1)
+        assert "..." in text or text  # elision only if >1 value somewhere
+
+    def test_max_depth_truncates(self):
+        schema = build_toy_schema()
+        dc = DCTree(schema)
+        from repro import DCTreeConfig
+
+        dc = DCTree(schema, config=DCTreeConfig(dir_capacity=4,
+                                                leaf_capacity=4))
+        for i in range(30):
+            dc.insert(toy_record(schema, "C%d" % (i % 3), "City%d" % i,
+                                 "red", 1.0))
+        full = dump_tree(dc)
+        truncated = dump_tree(dc, max_depth=0)
+        assert len(truncated.splitlines()) < len(full.splitlines())
+        assert "..." in truncated
+
+    def test_stream_output(self):
+        dc, _xt = build_trees()
+        buffer = io.StringIO()
+        text = dump_tree(dc, stream=buffer)
+        assert buffer.getvalue() == text + "\n"
+
+
+class TestDumpXTree:
+    def test_renders_intervals(self):
+        _dc, xt = build_trees()
+        text = dump_tree(xt)
+        assert "leaf(" in text
+        assert "[" in text and "|" in text
+
+    def test_supernode_tag(self):
+        dc, _xt = build_trees()
+        dc.root.n_blocks = 3
+        text = dump_tree(dc)
+        assert "SUPER[3 blocks]" in text

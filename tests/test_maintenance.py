@@ -1,0 +1,123 @@
+"""Tests for the batch-mode warehouse (the paper's antagonist regime)."""
+
+import pytest
+
+from repro.maintenance import (
+    BatchWarehouse,
+    WarehouseOfflineError,
+)
+from tests.conftest import TOY_ROWS, build_toy_schema
+
+
+def submit_all(warehouse):
+    records = []
+    for country, city, color, sales in TOY_ROWS:
+        records.append(
+            warehouse.submit_insert(((country, city), (color,)), (sales,))
+        )
+    return records
+
+
+class TestStaleness:
+    def test_updates_invisible_until_window(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        submit_all(warehouse)
+        assert warehouse.pending_updates == len(TOY_ROWS)
+        assert len(warehouse) == 0
+        assert warehouse.query("sum") == 0.0
+
+    def test_window_makes_updates_visible(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        submit_all(warehouse)
+        n_applied, wall = warehouse.run_maintenance_window()
+        assert n_applied == len(TOY_ROWS)
+        assert wall >= 0
+        assert warehouse.pending_updates == 0
+        assert warehouse.query("sum") == 96.0
+
+    def test_staleness_recorded_per_query(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        warehouse.submit_insert((("DE", "Munich"), ("red",)), (1.0,))
+        warehouse.query("sum")
+        warehouse.submit_insert((("DE", "Berlin"), ("red",)), (2.0,))
+        warehouse.query("sum")
+        assert warehouse.stats.staleness_samples == [1, 2]
+        assert warehouse.stats.mean_staleness == 1.5
+        assert warehouse.stats.max_staleness == 2
+
+    def test_submitted_deletes_queue_too(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        records = submit_all(warehouse)
+        warehouse.run_maintenance_window()
+        warehouse.submit_delete(records[0])
+        assert warehouse.query("sum") == 96.0  # still stale
+        warehouse.run_maintenance_window()
+        assert warehouse.query("sum") == 86.0
+
+
+class TestWindows:
+    def test_auto_window_policy(self):
+        warehouse = BatchWarehouse(build_toy_schema(), window_every=3)
+        submit_all(warehouse)  # 7 updates -> windows after 3 and 6
+        assert warehouse.stats.n_windows == 2
+        assert warehouse.pending_updates == 1
+
+    def test_window_stats_accumulate(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        submit_all(warehouse)
+        warehouse.run_maintenance_window()
+        assert warehouse.stats.updates_applied == len(TOY_ROWS)
+        assert warehouse.stats.total_downtime_seconds > 0
+        assert warehouse.stats.total_simulated_downtime > 0
+
+    def test_query_during_window_rejected(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        warehouse.submit_insert((("DE", "Munich"), ("red",)), (1.0,))
+        warehouse._in_window = True
+        with pytest.raises(WarehouseOfflineError):
+            warehouse.query("sum")
+        assert warehouse.stats.queries_rejected == 1
+
+    def test_empty_window_is_cheap(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        n_applied, _wall = warehouse.run_maintenance_window()
+        assert n_applied == 0
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["dc-tree", "x-tree", "scan"])
+    def test_batch_regime_on_every_backend(self, backend):
+        warehouse = BatchWarehouse(build_toy_schema(), backend)
+        submit_all(warehouse)
+        warehouse.run_maintenance_window()
+        assert warehouse.query(
+            "sum", where={"Geo": ("Country", ["DE"])}
+        ) == 35.0
+
+    def test_repr(self):
+        warehouse = BatchWarehouse(build_toy_schema())
+        warehouse.submit_insert((("DE", "Munich"), ("red",)), (1.0,))
+        text = repr(warehouse)
+        assert "pending=1" in text
+
+
+class TestMotivationExperiment:
+    def test_rows_and_shapes(self):
+        from repro.bench.motivation import run_motivation
+
+        rows = run_motivation(n_updates=400, query_every=40, windows=2)
+        dynamic, batch = rows
+        assert dynamic[0].startswith("dynamic")
+        # Drawback 2: the batch regime answers from stale contents.
+        assert batch[1] > 0
+        assert dynamic[1] == 0
+        # Drawback 1: the batch regime pays maintenance downtime.
+        assert batch[4] > 0
+        assert dynamic[4] == 0
+
+    def test_report_renders(self):
+        from repro.bench.motivation import report_motivation
+
+        text = report_motivation(n_updates=200, query_every=50, windows=2)
+        assert "staleness" in text
+        assert "dynamic dc-tree" in text

@@ -1,0 +1,160 @@
+"""Tests for the partitioned warehouse (time partitioning + retention)."""
+
+import math
+
+import pytest
+
+from repro import TPCDGenerator, Warehouse, make_tpcd_schema
+from repro.errors import QueryError, RecordNotFoundError, SchemaError
+from repro.maintenance.partitioned import PartitionedWarehouse
+from repro.workload.queries import QueryGenerator, query_from_labels
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = make_tpcd_schema()
+    partitioned = PartitionedWarehouse(schema, "Time", "Year")
+    flat = Warehouse(schema, "dc-tree")
+    generator = TPCDGenerator(schema, seed=17, scale_records=1000)
+    records = generator.generate(1000)
+    for record in records:
+        partitioned.insert_record(record)
+        flat.insert_record(record)
+    return schema, partitioned, flat, records
+
+
+class TestConstruction:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(SchemaError):
+            PartitionedWarehouse(make_tpcd_schema(), "Time", "Quarter")
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(SchemaError):
+            PartitionedWarehouse(make_tpcd_schema(), "Clock", "Year")
+
+
+class TestRouting:
+    def test_one_partition_per_year(self, setup):
+        _schema, partitioned, _flat, records = setup
+        labels = partitioned.partition_labels()
+        years = {
+            record.paths[3][0] for record in records
+        }
+        assert len(labels) == len(years)
+        assert sum(labels.values()) == len(records)
+
+    def test_len(self, setup):
+        _schema, partitioned, _flat, records = setup
+        assert len(partitioned) == len(records)
+
+    def test_partition_invariants(self, setup):
+        _schema, partitioned, _flat, _records = setup
+        for key in partitioned.partition_keys:
+            partitioned._partitions[key].check_invariants()
+
+
+class TestQueries:
+    def test_agrees_with_flat_warehouse(self, setup):
+        schema, partitioned, flat, _records = setup
+        for query in QueryGenerator(schema, 0.25, seed=2).queries(20):
+            assert math.isclose(
+                partitioned.execute(query),
+                flat.execute(query),
+                abs_tol=1e-6,
+            )
+
+    @pytest.mark.parametrize("op", ["count", "avg", "min", "max"])
+    def test_all_aggregates_agree(self, setup, op):
+        schema, partitioned, flat, _records = setup
+        for query in QueryGenerator(schema, 0.25, seed=3).queries(8):
+            mine = partitioned.execute(query, op=op)
+            theirs = flat.execute(query, op=op)
+            if mine is None:
+                assert theirs is None
+            else:
+                assert math.isclose(mine, theirs, abs_tol=1e-6)
+
+    def test_label_query(self, setup):
+        schema, partitioned, flat, _records = setup
+        where = {"Customer": ("Region", ["EUROPE"])}
+        assert math.isclose(
+            partitioned.query("sum", where=where),
+            flat.query("sum", where=where),
+            abs_tol=1e-6,
+        )
+
+    def test_year_query_touches_one_partition(self, setup):
+        schema, partitioned, _flat, _records = setup
+        year = sorted(partitioned.partition_labels())[0]
+        query = query_from_labels(schema, {"Time": ("Year", [year])})
+        assert partitioned.partitions_touched(query) == 1
+
+    def test_month_query_touches_one_partition(self, setup):
+        schema, partitioned, _flat, _records = setup
+        hierarchy = schema.hierarchy(3)
+        month = hierarchy.label(hierarchy.values_at_level(1)[0])
+        query = query_from_labels(schema, {"Time": ("Month", [month])})
+        assert partitioned.partitions_touched(query) == 1
+
+    def test_unconstrained_query_touches_all(self, setup):
+        schema, partitioned, _flat, _records = setup
+        query = query_from_labels(schema, {})
+        assert partitioned.partitions_touched(query) == len(
+            partitioned.partition_keys
+        )
+
+    def test_execute_type_checked(self, setup):
+        _schema, partitioned, _flat, _records = setup
+        with pytest.raises(SchemaError):
+            partitioned.execute("not a query")
+
+
+class TestRetentionAndUpdates:
+    def test_drop_partition(self):
+        schema = make_tpcd_schema()
+        partitioned = PartitionedWarehouse(schema, "Time", "Year")
+        flat_total = 0
+        generator = TPCDGenerator(schema, seed=23, scale_records=400)
+        for record in generator.records(400):
+            partitioned.insert_record(record)
+            flat_total += 1
+        oldest = sorted(partitioned.partition_labels())[0]
+        freed = partitioned.drop_partition(oldest)
+        assert freed > 0
+        assert len(partitioned) == flat_total - freed
+        assert oldest not in partitioned.partition_labels()
+        query = query_from_labels(schema, {"Time": ("Year", [oldest])})
+        assert partitioned.execute(query, op="count") == 0
+
+    def test_drop_unknown_partition_rejected(self, setup):
+        _schema, partitioned, _flat, _records = setup
+        with pytest.raises(QueryError):
+            partitioned.drop_partition("1901")
+
+    def test_delete_record(self):
+        schema = make_tpcd_schema()
+        partitioned = PartitionedWarehouse(schema, "Time", "Year")
+        generator = TPCDGenerator(schema, seed=29, scale_records=100)
+        records = generator.generate(50)
+        for record in records:
+            partitioned.insert_record(record)
+        partitioned.delete(records[0])
+        assert len(partitioned) == 49
+
+    def test_delete_from_missing_partition(self):
+        schema = make_tpcd_schema()
+        partitioned = PartitionedWarehouse(schema, "Time", "Year")
+        generator = TPCDGenerator(schema, seed=31, scale_records=100)
+        record = generator.record()
+        with pytest.raises(RecordNotFoundError):
+            partitioned.delete(record)
+
+    def test_empty_partition_unlinked_after_delete(self):
+        schema = make_tpcd_schema()
+        partitioned = PartitionedWarehouse(schema, "Time", "Year")
+        generator = TPCDGenerator(schema, seed=37, scale_records=100)
+        record = generator.record()
+        partitioned.insert_record(record)
+        assert len(partitioned.partition_keys) == 1
+        partitioned.delete(record)
+        assert len(partitioned.partition_keys) == 0

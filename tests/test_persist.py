@@ -1,0 +1,217 @@
+"""Tests for warehouse persistence (save/load all three backends)."""
+
+import json
+import math
+
+import pytest
+
+from repro import TPCDGenerator, Warehouse, make_tpcd_schema
+from repro.errors import StorageError
+from repro.persist import (
+    FORMAT_VERSION,
+    load_warehouse,
+    save_warehouse,
+    warehouse_from_dict,
+    warehouse_to_dict,
+)
+from repro.workload.queries import QueryGenerator, query_from_labels
+from tests.conftest import TOY_ROWS, build_toy_schema
+
+
+def build_warehouse(backend):
+    warehouse = Warehouse(build_toy_schema(), backend)
+    for country, city, color, sales in TOY_ROWS:
+        warehouse.insert(((country, city), (color,)), (sales,))
+    return warehouse
+
+
+@pytest.mark.parametrize("backend", ["dc-tree", "x-tree", "scan"])
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_queries(self, backend):
+        original = build_warehouse(backend)
+        restored = warehouse_from_dict(warehouse_to_dict(original))
+        assert len(restored) == len(original)
+        for where in (
+            {},
+            {"Geo": ("Country", ["DE"])},
+            {"Geo": ("City", ["Munich"]), "Color": ("Color", ["red"])},
+        ):
+            assert restored.query("sum", where=where) == original.query(
+                "sum", where=where
+            )
+
+    def test_file_roundtrip(self, backend, tmp_path):
+        original = build_warehouse(backend)
+        path = tmp_path / "wh.json"
+        save_warehouse(original, path)
+        restored = load_warehouse(path)
+        assert restored.backend == backend
+        assert restored.query("sum") == original.query("sum")
+
+    def test_restored_warehouse_stays_dynamic(self, backend):
+        original = build_warehouse(backend)
+        restored = warehouse_from_dict(warehouse_to_dict(original))
+        record = restored.insert((("IT", "Rome"), ("red",)), (50.0,))
+        assert restored.query(
+            "sum", where={"Geo": ("Country", ["IT"])}
+        ) == 50.0
+        restored.delete(record)
+        assert len(restored) == len(original)
+
+    def test_hierarchy_ids_preserved(self, backend):
+        original = build_warehouse(backend)
+        restored = warehouse_from_dict(warehouse_to_dict(original))
+        for dim_original, dim_restored in zip(
+            original.schema.dimensions, restored.schema.dimensions
+        ):
+            for level in range(dim_original.hierarchy.top_level + 1):
+                assert dim_original.hierarchy.values_at_level(level) == (
+                    dim_restored.hierarchy.values_at_level(level)
+                )
+
+
+class TestTreeStructurePreserved:
+    def test_dc_tree_structure_identical(self):
+        schema = make_tpcd_schema()
+        warehouse = Warehouse(schema, "dc-tree")
+        generator = TPCDGenerator(schema, seed=8, scale_records=600)
+        for record in generator.records(600):
+            warehouse.insert_record(record)
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        restored.index.check_invariants()
+
+        def shape(node):
+            if node.is_leaf:
+                return ("leaf", node.n_blocks, len(node.records))
+            return ("dir", node.n_blocks,
+                    tuple(shape(c) for c in node.children))
+
+        assert shape(restored.index.root) == shape(warehouse.index.root)
+
+    def test_dc_tree_queries_identical_after_load(self):
+        schema = make_tpcd_schema()
+        warehouse = Warehouse(schema, "dc-tree")
+        generator = TPCDGenerator(schema, seed=8, scale_records=600)
+        for record in generator.records(600):
+            warehouse.insert_record(record)
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        for query in QueryGenerator(schema, 0.2, seed=4).queries(10):
+            rebuilt_query = query_from_labels(restored.schema, {})
+            # Same-schema queries: re-run the original MDS on both (IDs
+            # are preserved, so the MDS transfers verbatim).
+            assert math.isclose(
+                warehouse.index.range_query(query.mds),
+                restored.index.range_query(query.mds),
+                abs_tol=1e-6,
+            )
+            assert rebuilt_query.schema is restored.schema
+
+    def test_x_tree_structure_identical(self):
+        schema = make_tpcd_schema()
+        warehouse = Warehouse(schema, "x-tree")
+        generator = TPCDGenerator(schema, seed=8, scale_records=600)
+        for record in generator.records(600):
+            warehouse.insert_record(record)
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        restored.index.check_invariants()
+        assert restored.index.root.mbr == warehouse.index.root.mbr
+        assert (
+            restored.index.root.split_history
+            == warehouse.index.root.split_history
+        )
+
+
+class TestFormatValidation:
+    def test_version_checked(self):
+        data = warehouse_to_dict(build_warehouse("scan"))
+        data["meta"]["version"] = FORMAT_VERSION + 1
+        with pytest.raises(StorageError):
+            warehouse_from_dict(data)
+
+    def test_missing_version_rejected(self):
+        data = warehouse_to_dict(build_warehouse("scan"))
+        del data["meta"]["version"]
+        with pytest.raises(StorageError):
+            warehouse_from_dict(data)
+
+    def test_unknown_backend_rejected(self):
+        data = warehouse_to_dict(build_warehouse("scan"))
+        data["meta"]["backend"] = "b-tree"
+        with pytest.raises(StorageError):
+            warehouse_from_dict(data)
+
+    def test_record_count_mismatch_rejected(self):
+        data = warehouse_to_dict(build_warehouse("scan"))
+        data["meta"]["records"] += 1
+        with pytest.raises(StorageError):
+            warehouse_from_dict(data)
+
+    def test_unknown_node_type_rejected(self):
+        data = warehouse_to_dict(build_warehouse("dc-tree"))
+        data["index"]["root"]["type"] = "mystery"
+        with pytest.raises(StorageError):
+            warehouse_from_dict(data)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "wh.json"
+        save_warehouse(build_warehouse("dc-tree"), path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["meta"]["version"] == FORMAT_VERSION
+
+    def test_empty_warehouse_roundtrip(self):
+        warehouse = Warehouse(build_toy_schema(), "dc-tree")
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        assert len(restored) == 0
+        restored.insert((("DE", "Munich"), ("red",)), (1.0,))
+        assert restored.query("sum") == 1.0
+
+
+class TestConfigPersistence:
+    def test_custom_capacities_survive_roundtrip(self):
+        from repro import DCTreeConfig, TPCDGenerator
+
+        schema = make_tpcd_schema()
+        warehouse = Warehouse(
+            schema, "dc-tree",
+            config=DCTreeConfig(dir_capacity=64, leaf_capacity=256),
+        )
+        generator = TPCDGenerator(schema, seed=0, scale_records=2000)
+        for record in generator.records(2000):
+            warehouse.insert_record(record)
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        restored.index.check_invariants()
+        assert restored.index.config.dir_capacity == 64
+        assert restored.index.config.leaf_capacity == 256
+
+    def test_explicit_config_still_overrides(self):
+        from repro import DCTreeConfig
+
+        warehouse = build_warehouse("dc-tree")
+        restored = warehouse_from_dict(
+            warehouse_to_dict(warehouse),
+            config=DCTreeConfig(dir_capacity=128, leaf_capacity=128),
+        )
+        assert restored.index.config.dir_capacity == 128
+
+    def test_x_tree_config_survives(self):
+        from repro import TPCDGenerator, XTreeConfig
+
+        schema = make_tpcd_schema()
+        warehouse = Warehouse(
+            schema, "x-tree",
+            config=XTreeConfig(dir_capacity=64, leaf_capacity=128),
+        )
+        generator = TPCDGenerator(schema, seed=0, scale_records=500)
+        for record in generator.records(500):
+            warehouse.insert_record(record)
+        restored = warehouse_from_dict(warehouse_to_dict(warehouse))
+        restored.index.check_invariants()
+        assert restored.index.config.leaf_capacity == 128
+
+    def test_old_files_without_config_still_load(self):
+        warehouse = build_warehouse("dc-tree")
+        data = warehouse_to_dict(warehouse)
+        del data["index"]["config"]
+        restored = warehouse_from_dict(data)
+        assert len(restored) == len(warehouse)

@@ -1,0 +1,171 @@
+"""Tests for the SQL-ish query language."""
+
+import math
+
+import pytest
+
+from repro import Warehouse
+from repro.errors import QueryError
+from repro.query import QuerySpec, execute, parse
+from tests.conftest import TOY_ROWS, build_toy_schema
+
+
+@pytest.fixture
+def warehouse():
+    warehouse = Warehouse(build_toy_schema())
+    for country, city, color, sales in TOY_ROWS:
+        warehouse.insert(((country, city), (color,)), (sales,))
+    return warehouse
+
+
+class TestParse:
+    def test_plain_aggregate(self):
+        spec = parse("SELECT SUM(Sales)")
+        assert spec.op == "sum"
+        assert spec.measure == "Sales"
+        assert spec.where == {}
+        assert spec.group_by is None
+
+    def test_count_star(self):
+        spec = parse("SELECT COUNT(*)")
+        assert spec.op == "count"
+        assert spec.measure is None
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(*)")
+
+    def test_keywords_case_insensitive(self):
+        spec = parse("select Avg(Sales) where Geo.Country = 'DE'")
+        assert spec.op == "avg"
+        assert spec.where == {"Geo": ("Country", ["DE"])}
+
+    def test_in_list(self):
+        spec = parse(
+            "SELECT SUM(Sales) WHERE Geo.Country IN ('DE', 'FR')"
+        )
+        assert spec.where == {"Geo": ("Country", ["DE", "FR"])}
+
+    def test_equals_shorthand(self):
+        spec = parse("SELECT SUM(Sales) WHERE Color.Color = red")
+        assert spec.where == {"Color": ("Color", ["red"])}
+
+    def test_and_conjunction(self):
+        spec = parse(
+            "SELECT SUM(Sales) WHERE Geo.Country = 'DE' "
+            "AND Color.Color IN ('red', 'blue')"
+        )
+        assert spec.where == {
+            "Geo": ("Country", ["DE"]),
+            "Color": ("Color", ["red", "blue"]),
+        }
+
+    def test_group_by(self):
+        spec = parse("SELECT SUM(Sales) GROUP BY Geo.Country")
+        assert spec.group_by == ("Geo", "Country")
+
+    def test_full_query(self):
+        spec = parse(
+            "SELECT MAX(Sales) WHERE Color.Color = 'red' "
+            "GROUP BY Geo.Country"
+        )
+        assert spec.op == "max"
+        assert spec.group_by == ("Geo", "Country")
+
+    def test_quoted_values_with_spaces(self):
+        spec = parse(
+            'SELECT SUM(Sales) WHERE Geo.Country IN ("NEW ZEALAND")'
+        )
+        assert spec.where == {"Geo": ("Country", ["NEW ZEALAND"])}
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            parse("SELECT MEDIAN(Sales)")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse("   ")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(Sales) WHERE Geo.Country = 'DE")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(Sales) LIMIT 5")
+
+    def test_double_constraint_rejected(self):
+        with pytest.raises(QueryError):
+            parse(
+                "SELECT SUM(Sales) WHERE Geo.Country = 'DE' "
+                "AND Geo.City = 'Munich'"
+            )
+
+    def test_missing_comparison(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(Sales) WHERE Geo.Country")
+
+    def test_repr(self):
+        assert "sum" in repr(parse("SELECT SUM(Sales)"))
+        assert isinstance(parse("SELECT SUM(Sales)"), QuerySpec)
+
+
+class TestExecute:
+    def test_total(self, warehouse):
+        assert execute(warehouse, "SELECT SUM(Sales)") == 96.0
+
+    def test_count_star(self, warehouse):
+        assert execute(warehouse, "SELECT COUNT(*)") == len(TOY_ROWS)
+
+    def test_where(self, warehouse):
+        assert execute(
+            warehouse, "SELECT SUM(Sales) WHERE Geo.Country = 'DE'"
+        ) == 35.0
+
+    def test_where_in(self, warehouse):
+        assert execute(
+            warehouse,
+            "SELECT SUM(Sales) WHERE Geo.Country IN ('DE', 'FR')",
+        ) == 45.0
+
+    def test_conjunction(self, warehouse):
+        assert execute(
+            warehouse,
+            "SELECT SUM(Sales) WHERE Geo.Country = 'DE' "
+            "AND Color.Color = 'red'",
+        ) == 15.0
+
+    def test_avg(self, warehouse):
+        assert math.isclose(
+            execute(warehouse, "SELECT AVG(Sales) WHERE Geo.Country = 'FR'"),
+            5.0,
+        )
+
+    def test_group_by(self, warehouse):
+        groups = execute(
+            warehouse, "SELECT SUM(Sales) GROUP BY Geo.Country"
+        )
+        assert groups == {"DE": 35.0, "FR": 10.0, "US": 51.0}
+
+    def test_group_by_with_where(self, warehouse):
+        groups = execute(
+            warehouse,
+            "SELECT COUNT(Sales) WHERE Color.Color = 'red' "
+            "GROUP BY Geo.Country",
+        )
+        assert groups == {"DE": 2, "US": 1}
+
+    def test_unknown_label_surfaces(self, warehouse):
+        with pytest.raises(QueryError):
+            execute(
+                warehouse, "SELECT SUM(Sales) WHERE Geo.Country = 'XX'"
+            )
+
+    @pytest.mark.parametrize("backend", ["x-tree", "scan"])
+    def test_other_backends(self, backend):
+        other = Warehouse(build_toy_schema(), backend)
+        for country, city, color, sales in TOY_ROWS:
+            other.insert(((country, city), (color,)), (sales,))
+        assert execute(
+            other, "SELECT SUM(Sales) WHERE Geo.Country = 'US'"
+        ) == 51.0

@@ -1,0 +1,98 @@
+"""Tests for per-level tree statistics (Fig. 13 support)."""
+
+import pytest
+
+from repro import DCTree, DCTreeConfig, TPCDGenerator, XTree, make_tpcd_schema
+from repro.core.stats import LevelStats, TreeStats, collect_stats
+from tests.conftest import TOY_ROWS, build_toy_schema, toy_record
+
+
+class TestLevelStats:
+    def test_empty_averages(self):
+        stats = LevelStats(0)
+        assert stats.avg_entries == 0.0
+        assert stats.avg_blocks == 0.0
+
+    def test_averages(self):
+        stats = LevelStats(1)
+        stats.n_nodes = 4
+        stats.n_entries = 40
+        stats.n_blocks = 6
+        assert stats.avg_entries == 10.0
+        assert stats.avg_blocks == 1.5
+
+    def test_repr(self):
+        assert "depth=2" in repr(LevelStats(2))
+
+
+class TestTreeStats:
+    def test_level_accessors(self):
+        levels = [LevelStats(0), LevelStats(1), LevelStats(2)]
+        stats = TreeStats(levels, n_records=10, height=3)
+        assert stats.level(1) is levels[1]
+        assert stats.highest_below_root() is levels[1]
+        assert stats.second_highest_below_root() is levels[2]
+
+    def test_shallow_tree_has_no_lower_levels(self):
+        stats = TreeStats([LevelStats(0)], n_records=3, height=1)
+        assert stats.highest_below_root() is None
+        assert stats.second_highest_below_root() is None
+
+    def test_totals(self):
+        a, b = LevelStats(0), LevelStats(1)
+        a.n_nodes, b.n_nodes = 1, 4
+        a.n_supernodes = 1
+        stats = TreeStats([a, b], n_records=9, height=2)
+        assert stats.n_nodes == 5
+        assert stats.n_supernodes == 1
+
+
+class TestCollectStats:
+    def test_counts_toy_tree(self):
+        schema = build_toy_schema()
+        tree = DCTree(schema)
+        for row in TOY_ROWS:
+            tree.insert(toy_record(schema, *row))
+        stats = collect_stats(tree)
+        assert stats.n_records == len(TOY_ROWS)
+        assert stats.height == tree.height()
+        assert stats.level(0).n_nodes == 1
+
+    def test_entry_totals_are_consistent(self):
+        schema = make_tpcd_schema()
+        generator = TPCDGenerator(schema, seed=4, scale_records=800)
+        tree = DCTree(
+            schema, config=DCTreeConfig(dir_capacity=8, leaf_capacity=16)
+        )
+        for record in generator.records(800):
+            tree.insert(record)
+        stats = collect_stats(tree)
+        # Leaf entries sum to the record count.
+        assert stats.levels[-1].n_entries == 800
+        # Each directory level's entry count equals the node count of the
+        # level below it.
+        for depth in range(stats.height - 1):
+            assert (
+                stats.level(depth).n_entries
+                == stats.level(depth + 1).n_nodes
+            )
+
+    def test_works_on_x_tree(self):
+        schema = build_toy_schema()
+        tree = XTree(schema)
+        for row in TOY_ROWS:
+            tree.insert(toy_record(schema, *row))
+        stats = collect_stats(tree)
+        assert stats.n_records == len(TOY_ROWS)
+
+    def test_supernode_blocks_reported(self):
+        schema = build_toy_schema()
+        from repro import DCTreeConfig
+
+        tree = DCTree(
+            schema, config=DCTreeConfig(dir_capacity=4, leaf_capacity=4)
+        )
+        for i in range(12):
+            tree.insert(toy_record(schema, "DE", "Munich", "red", float(i)))
+        stats = collect_stats(tree)
+        assert stats.level(0).avg_blocks >= 2

@@ -1,0 +1,113 @@
+"""Tests for workload traces (save/replay)."""
+
+import math
+
+import pytest
+
+from repro import TPCDGenerator, Warehouse, make_tpcd_schema
+from repro.errors import StorageError
+from repro.persist import load_warehouse, save_warehouse
+from repro.workload.queries import QueryGenerator
+from repro.workload.trace import (
+    TRACE_VERSION,
+    queries_from_dict,
+    queries_to_dict,
+    read_trace,
+    replay,
+    write_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = make_tpcd_schema()
+    warehouse = Warehouse(schema, "dc-tree")
+    generator = TPCDGenerator(schema, seed=41, scale_records=500)
+    for record in generator.records(500):
+        warehouse.insert_record(record)
+    queries = list(QueryGenerator(schema, 0.2, seed=9).queries(15))
+    return schema, warehouse, queries
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_mds(self, setup):
+        schema, _warehouse, queries = setup
+        rebuilt = queries_from_dict(queries_to_dict(queries), schema)
+        assert len(rebuilt) == len(queries)
+        for original, restored in zip(queries, rebuilt):
+            assert original.mds == restored.mds
+
+    def test_file_roundtrip_replays_identically(self, setup, tmp_path):
+        schema, warehouse, queries = setup
+        path = tmp_path / "workload.json"
+        assert write_trace(path, queries) == len(queries)
+        restored = read_trace(path, schema)
+        before = replay(warehouse, queries)
+        after = replay(warehouse, restored)
+        for a, b in zip(before, after):
+            assert math.isclose(a, b, abs_tol=1e-9)
+
+    def test_trace_survives_warehouse_persistence(self, setup, tmp_path):
+        """The canonical flow: persist warehouse + trace, reload both."""
+        schema, warehouse, queries = setup
+        trace_path = tmp_path / "workload.json"
+        warehouse_path = tmp_path / "warehouse.json"
+        write_trace(trace_path, queries)
+        save_warehouse(warehouse, warehouse_path)
+
+        resumed = load_warehouse(warehouse_path)
+        restored = read_trace(trace_path, resumed.schema)
+        before = replay(warehouse, queries)
+        after = replay(resumed, restored)
+        for a, b in zip(before, after):
+            assert math.isclose(a, b, abs_tol=1e-6)
+
+
+class TestValidation:
+    def test_version_checked(self, setup):
+        schema, _warehouse, queries = setup
+        data = queries_to_dict(queries)
+        data["version"] = 99
+        with pytest.raises(StorageError):
+            queries_from_dict(data, schema)
+
+    def test_dimension_count_checked(self, setup):
+        schema, _warehouse, queries = setup
+        data = queries_to_dict(queries)
+        data["queries"][0] = data["queries"][0][:2]
+        with pytest.raises(StorageError):
+            queries_from_dict(data, schema)
+
+    def test_unknown_id_rejected(self, setup):
+        schema, _warehouse, queries = setup
+        data = queries_to_dict(queries)
+        data["queries"][0][0][1] = [0xDEADBEE]
+        with pytest.raises(StorageError):
+            queries_from_dict(data, schema)
+
+    def test_foreign_schema_rejected(self, setup):
+        _schema, _warehouse, queries = setup
+        fresh = make_tpcd_schema()  # empty hierarchies: IDs unknown
+        data = queries_to_dict(queries)
+        with pytest.raises(StorageError):
+            queries_from_dict(data, fresh)
+
+    def test_level_mismatch_rejected(self, setup):
+        schema, _warehouse, queries = setup
+        data = queries_to_dict(queries)
+        level, values = data["queries"][0][0]
+        data["queries"][0][0] = [level + 1 if level == 0 else level - 1,
+                                 values]
+        with pytest.raises(StorageError):
+            queries_from_dict(data, schema)
+
+    def test_trace_version_constant(self):
+        assert TRACE_VERSION == 1
+
+
+def test_non_query_rejected_on_write(setup):
+    _schema, _warehouse, _queries = setup
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        queries_to_dict(["not a query"])
