@@ -12,8 +12,16 @@ from .harness import (
     make_backend,
     run_combined_sweep,
 )
+from .regression import (
+    compare_to_baseline,
+    run_benchmark,
+    run_workload,
+)
 
 __all__ = [
+    "compare_to_baseline",
+    "run_benchmark",
+    "run_workload",
     "Checkpoint",
     "PAPER_QUERIES",
     "PAPER_SELECTIVITIES",

@@ -9,6 +9,10 @@ Options:
   --sizes A,B,C   checkpoint record counts (default 10000,20000,30000)
   --queries N     queries per measurement (default 100)
   --seed N        RNG seed (default 0)
+
+``python -m repro.bench regression [--smoke ...]`` is the hot-path
+performance-regression benchmark; it has its own options (see
+``repro.bench.regression``).
 """
 
 from __future__ import annotations
@@ -39,6 +43,10 @@ EXPERIMENTS = (
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "regression":
+        from . import regression
+        return regression.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",

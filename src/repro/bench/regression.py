@@ -1,0 +1,342 @@
+"""Performance-regression benchmark: ``python -m repro.bench regression``.
+
+Runs one fixed-seed insert / range-query / group-by workload over the
+TPC-D cube twice — once with the hot-path acceleration layer on (the
+default) and once with it off (legacy parent-walking ancestors, uncached
+adaptation, separate overlaps+contains) — and records per-phase wall
+times, ops/sec and the deterministic tracker counters (node accesses,
+page I/Os, CPU units) in ``BENCH_core.json``.
+
+Regression checking compares the *deterministic* counters of the cached
+mode against the committed baseline with a configurable tolerance, so CI
+catches algorithmic regressions without depending on machine speed;
+wall-clock comparison is opt-in (``--strict-wall``).  The two modes must
+produce bit-identical query/group-by results (checked via a digest) —
+the caches are required to be semantically invisible.
+
+Profiles:
+
+* ``full``  — 30 000 records, 100 mixed-selectivity queries (1/5/25 %)
+  plus the standard group-by battery; the headline numbers.
+* ``smoke`` (``--smoke``) — 4 000 records, 30 queries; finishes in well
+  under a minute and is meant as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+
+from .. import hotpath
+from ..config import DCTreeConfig
+from ..core.tree import DCTree
+from ..tpcd.generator import TPCDGenerator
+from ..tpcd.schema import make_tpcd_schema
+from ..workload.queries import QueryGenerator
+
+#: Selectivities mixed into the query batch (the paper's Fig. 12 set).
+SELECTIVITIES = (0.01, 0.05, 0.25)
+
+PROFILES = {
+    "full": {"records": 30000, "queries": 100},
+    "smoke": {"records": 4000, "queries": 30},
+}
+
+#: Counters whose growth beyond the tolerance fails the run.
+_CHECKED_COUNTERS = ("node_accesses", "page_ios", "cpu_units")
+
+
+def _phase_stats(tracker, before, wall_seconds, n_ops):
+    stats = tracker.snapshot() - before
+    return {
+        "wall_seconds": wall_seconds,
+        "ops": n_ops,
+        "ops_per_second": (n_ops / wall_seconds) if wall_seconds > 0 else 0.0,
+        "node_accesses": stats.node_accesses,
+        "page_ios": stats.page_ios,
+        "cpu_units": stats.cpu_units,
+    }
+
+
+def _build_queries(schema, n_queries, seed):
+    """The fixed mixed-selectivity query batch (round-robin)."""
+    generators = [
+        QueryGenerator(schema, selectivity, seed=seed + index)
+        for index, selectivity in enumerate(SELECTIVITIES)
+    ]
+    return [
+        generators[index % len(generators)].query()
+        for index in range(n_queries)
+    ]
+
+
+def _group_by_battery(schema, seed):
+    """Group-by workload: (dim, level, range_mds-or-None) triples.
+
+    Every non-leaf functional level is rolled up once unrestricted, plus
+    three range-restricted roll-ups per selectivity (the interactive
+    "slice then roll up" OLAP shape, which exercises entry classification
+    the same way range queries do).
+    """
+    battery = []
+    for dim in range(schema.n_dimensions):
+        hierarchy = schema.dimensions[dim].hierarchy
+        for level in range(1, hierarchy.top_level):
+            battery.append((dim, level, None))
+    index = 0
+    for offset, selectivity in enumerate(SELECTIVITIES):
+        generator = QueryGenerator(schema, selectivity, seed=seed + offset)
+        for _ in range(3):
+            dim = index % schema.n_dimensions
+            hierarchy = schema.dimensions[dim].hierarchy
+            level = min(1, hierarchy.top_level - 1)
+            battery.append((dim, level, generator.query().mds))
+            index += 1
+    return battery
+
+
+def run_workload(use_caches, n_records, n_queries, seed=0):
+    """One full benchmark pass; returns (mode-report dict, results digest).
+
+    The schema/generator are rebuilt per pass with the same seed, so both
+    modes index the identical record stream and answer the identical
+    queries — any result difference is a cache-correctness bug.
+    """
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=seed, scale_records=n_records)
+    records = generator.generate(n_records)
+    tree = DCTree(schema, config=DCTreeConfig(use_hot_path_caches=use_caches))
+
+    report = {}
+    digest = hashlib.sha256()
+
+    before = tree.tracker.snapshot()
+    start = time.perf_counter()
+    for record in records:
+        tree.insert(record)
+    report["insert"] = _phase_stats(
+        tree.tracker, before, time.perf_counter() - start, n_records
+    )
+
+    queries = _build_queries(schema, n_queries, seed=seed + 1000)
+    before = tree.tracker.snapshot()
+    start = time.perf_counter()
+    for query in queries:
+        result = tree.range_query(query.mds)
+        digest.update(repr(result).encode())
+    report["query"] = _phase_stats(
+        tree.tracker, before, time.perf_counter() - start, len(queries)
+    )
+
+    battery = _group_by_battery(schema, seed=seed + 2000)
+    before = tree.tracker.snapshot()
+    start = time.perf_counter()
+    for dim, level, range_mds in battery:
+        groups = tree.group_by(dim, level, range_mds=range_mds)
+        digest.update(repr(sorted(groups.items())).encode())
+    report["groupby"] = _phase_stats(
+        tree.tracker, before, time.perf_counter() - start, len(battery)
+    )
+
+    report["total_wall_seconds"] = sum(
+        report[phase]["wall_seconds"]
+        for phase in ("insert", "query", "groupby")
+    )
+    return report, digest.hexdigest()
+
+
+def run_benchmark(profile="full", seed=0):
+    """Run both modes of one profile; returns the BENCH entry dict."""
+    params = PROFILES[profile]
+    cached, cached_digest = run_workload(
+        True, params["records"], params["queries"], seed
+    )
+    with hotpath.disabled():
+        uncached, uncached_digest = run_workload(
+            False, params["records"], params["queries"], seed
+        )
+    if cached_digest != uncached_digest:
+        raise AssertionError(
+            "hot-path caches changed query results: %s vs %s"
+            % (cached_digest, uncached_digest)
+        )
+    query_heavy_cached = (
+        cached["query"]["wall_seconds"] + cached["groupby"]["wall_seconds"]
+    )
+    query_heavy_uncached = (
+        uncached["query"]["wall_seconds"]
+        + uncached["groupby"]["wall_seconds"]
+    )
+    return {
+        "profile": profile,
+        "seed": seed,
+        "records": params["records"],
+        "queries": params["queries"],
+        "selectivities": list(SELECTIVITIES),
+        "digest": cached_digest,
+        "modes": {"cached": cached, "uncached": uncached},
+        "speedup": {
+            "query_wall": _ratio(
+                uncached["query"]["wall_seconds"],
+                cached["query"]["wall_seconds"],
+            ),
+            "groupby_wall": _ratio(
+                uncached["groupby"]["wall_seconds"],
+                cached["groupby"]["wall_seconds"],
+            ),
+            "query_heavy_wall": _ratio(
+                query_heavy_uncached, query_heavy_cached
+            ),
+            "total_wall": _ratio(
+                uncached["total_wall_seconds"], cached["total_wall_seconds"]
+            ),
+        },
+    }
+
+
+def _ratio(numerator, denominator):
+    return (numerator / denominator) if denominator > 0 else 0.0
+
+
+def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
+    """Regressions of ``current`` vs ``baseline``; returns a problem list.
+
+    Deterministic counters may not grow beyond ``baseline * (1 +
+    tolerance)``; ops/sec may not drop below ``baseline / (1 + tolerance)``
+    when ``strict_wall`` is set.  A workload-parameter mismatch makes the
+    comparison meaningless and is reported as a problem itself.
+    """
+    problems = []
+    for key in ("records", "queries", "seed"):
+        if current.get(key) != baseline.get(key):
+            problems.append(
+                "workload mismatch: %s is %r, baseline has %r"
+                % (key, current.get(key), baseline.get(key))
+            )
+    if problems:
+        return problems
+    if baseline.get("digest") and current["digest"] != baseline["digest"]:
+        problems.append(
+            "result digest changed: %s -> %s (query answers differ from "
+            "the baseline run)" % (baseline["digest"], current["digest"])
+        )
+    base_cached = baseline["modes"]["cached"]
+    cur_cached = current["modes"]["cached"]
+    for phase in ("insert", "query", "groupby"):
+        for counter in _CHECKED_COUNTERS:
+            base_value = base_cached[phase][counter]
+            cur_value = cur_cached[phase][counter]
+            if cur_value > base_value * (1.0 + tolerance):
+                problems.append(
+                    "%s %s regressed: %d -> %d (>%d%% tolerance)"
+                    % (phase, counter, base_value, cur_value,
+                       round(tolerance * 100))
+                )
+        if strict_wall:
+            base_rate = base_cached[phase]["ops_per_second"]
+            cur_rate = cur_cached[phase]["ops_per_second"]
+            if base_rate > 0 and cur_rate < base_rate / (1.0 + tolerance):
+                problems.append(
+                    "%s ops/sec regressed: %.1f -> %.1f (>%d%% tolerance)"
+                    % (phase, base_rate, cur_rate, round(tolerance * 100))
+                )
+    return problems
+
+
+def _format_summary(entry):
+    lines = [
+        "# bench regression — profile %s (%d records, %d queries, seed %d)"
+        % (entry["profile"], entry["records"], entry["queries"],
+           entry["seed"]),
+        "phase    mode      wall(s)    ops/s   node-acc   page-io   cpu-units",
+    ]
+    for phase in ("insert", "query", "groupby"):
+        for mode in ("cached", "uncached"):
+            stats = entry["modes"][mode][phase]
+            lines.append(
+                "%-8s %-8s %8.3f %8.1f %10d %9d %11d"
+                % (phase, mode, stats["wall_seconds"],
+                   stats["ops_per_second"], stats["node_accesses"],
+                   stats["page_ios"], stats["cpu_units"])
+            )
+    speedup = entry["speedup"]
+    lines.append(
+        "speedup (uncached/cached wall): query %.2fx, group-by %.2fx, "
+        "query-heavy %.2fx, total %.2fx"
+        % (speedup["query_wall"], speedup["groupby_wall"],
+           speedup["query_heavy_wall"], speedup["total_wall"])
+    )
+    return "\n".join(lines)
+
+
+def load_bench_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench regression",
+        description="Hot-path benchmark with baseline regression checking.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast profile (<60 s, CI gate)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="also fail on wall-clock ops/sec regressions")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when the cached/uncached query-heavy "
+                             "wall speedup drops below this factor")
+    parser.add_argument("--output", default="BENCH_core.json",
+                        help="benchmark file to compare against and update")
+    parser.add_argument("--no-write", action="store_true",
+                        help="compare only; leave the benchmark file alone")
+    args = parser.parse_args(argv)
+
+    profile = "smoke" if args.smoke else "full"
+    entry = run_benchmark(profile=profile, seed=args.seed)
+    print(_format_summary(entry))
+
+    document = load_bench_file(args.output) or {"profiles": {}}
+    baseline = document.get("profiles", {}).get(profile)
+    failed = False
+    if baseline is None:
+        print("no committed baseline for profile %r yet — recording one"
+              % profile)
+    else:
+        problems = compare_to_baseline(
+            entry, baseline, args.tolerance, strict_wall=args.strict_wall
+        )
+        if problems:
+            failed = True
+            for problem in problems:
+                print("REGRESSION: %s" % problem)
+        else:
+            print("no regression vs. committed baseline (tolerance %d%%)"
+                  % round(args.tolerance * 100))
+    if args.min_speedup is not None:
+        achieved = entry["speedup"]["query_heavy_wall"]
+        if achieved < args.min_speedup:
+            failed = True
+            print("REGRESSION: query-heavy speedup %.2fx below required "
+                  "%.2fx" % (achieved, args.min_speedup))
+
+    if not args.no_write and not failed:
+        document.setdefault("profiles", {})[profile] = entry
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

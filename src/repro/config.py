@@ -38,6 +38,14 @@ class DCTreeConfig:
         When False the range-query algorithm never uses the aggregates
         stored in directory entries and always descends to the data nodes
         (ablation `abl-measures`).
+    use_hot_path_caches:
+        When True (default) the query traversals classify each directory
+        entry with the fused single-pass ``mds.classify`` test, which leans
+        on the memoized MDS adaptations and the O(1) hierarchy ancestor
+        tables.  When False they fall back to the separate
+        ``overlaps`` + ``contains`` call pair — the pre-acceleration code
+        path the regression benchmark prices the caches against.  Results
+        are identical either way (enforced by the equivalence test suite).
     capacity_mode:
         ``"entries"`` (default) bounds nodes by entry count —
         predictable and what the comparison experiments use.
@@ -57,6 +65,7 @@ class DCTreeConfig:
         split_algorithm="quadratic",
         use_materialized_aggregates=True,
         capacity_mode="entries",
+        use_hot_path_caches=True,
     ):
         if dir_capacity < 4:
             raise SchemaError("dir_capacity must be at least 4")
@@ -83,6 +92,7 @@ class DCTreeConfig:
         self.split_algorithm = split_algorithm
         self.use_materialized_aggregates = use_materialized_aggregates
         self.capacity_mode = capacity_mode
+        self.use_hot_path_caches = bool(use_hot_path_caches)
 
     def min_dir_fanout(self):
         """Smallest acceptable group size when splitting a directory node."""

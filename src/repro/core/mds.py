@@ -17,7 +17,27 @@ containment test in :func:`contains`.
 
 from __future__ import annotations
 
+from .. import hotpath
 from ..errors import MdsError
+
+#: Outcomes of :func:`classify` (ordered: more overlap = larger value).
+DISJOINT = 0
+PARTIAL = 1
+CONTAINED = 2
+
+
+def caches_enabled():
+    """True when the acceleration layer (adaptation memo etc.) is active."""
+    return hotpath.enabled()
+
+
+def set_caches_enabled(enabled):
+    """Enable/disable the acceleration layer; returns the previous state."""
+    return hotpath.set_enabled(enabled)
+
+
+#: Context manager running its body with the acceleration layer off.
+caches_disabled = hotpath.disabled
 
 
 class MDS:
@@ -28,7 +48,7 @@ class MDS:
     :meth:`copy` for callers that need snapshots.
     """
 
-    __slots__ = ("_sets", "_levels")
+    __slots__ = ("_sets", "_levels", "_version", "_adapt_cache")
 
     def __init__(self, sets, levels):
         sets = [set(s) for s in sets]
@@ -40,6 +60,8 @@ class MDS:
             )
         self._sets = sets
         self._levels = levels
+        self._version = 0
+        self._adapt_cache = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -142,12 +164,24 @@ class MDS:
         """True when any dimension has no values (describes nothing)."""
         return any(not s for s in self._sets)
 
+    @property
+    def version(self):
+        """Monotone mutation counter; adaptation memos are keyed on it."""
+        return self._version
+
     # ------------------------------------------------------------------
     # mutation (DC-tree maintenance)
     # ------------------------------------------------------------------
 
+    def _touch(self):
+        """Bump the version and drop memoized adaptations (now stale)."""
+        self._version += 1
+        if self._adapt_cache:
+            self._adapt_cache.clear()
+
     def add_record(self, record, hierarchies):
         """Extend the MDS to cover ``record`` at the current levels."""
+        self._touch()
         for dim, level in enumerate(self._levels):
             hierarchy = hierarchies[dim]
             if level >= hierarchy.top_level:
@@ -157,10 +191,26 @@ class MDS:
 
     def add_mds(self, other, hierarchies):
         """Extend the MDS to cover ``other`` (levels must be <= ours)."""
+        self._touch()
         for dim, level in enumerate(self._levels):
             self._sets[dim].update(
                 other.adapted_set(dim, level, hierarchies[dim])
             )
+
+    def update_values(self, dim, values):
+        """Add ``values`` to dimension ``dim`` (they must live at its level).
+
+        The version-bumping way to grow one dimension's set; callers that
+        previously mutated ``value_set(dim)`` in place must use this so the
+        adaptation memo notices the change.
+        """
+        self._touch()
+        self._sets[dim].update(values)
+
+    def clear_dimension(self, dim):
+        """Empty dimension ``dim``'s value set (level is kept)."""
+        self._touch()
+        self._sets[dim].clear()
 
     def refine_dimension(self, dim, values, level):
         """Replace one dimension by a more specific description.
@@ -175,6 +225,7 @@ class MDS:
                 "refinement must not raise the level (dim %d: %d -> %d)"
                 % (dim, self._levels[dim], level)
             )
+        self._touch()
         self._sets[dim] = set(values)
         self._levels[dim] = level
 
@@ -190,6 +241,12 @@ class MDS:
         stored one raises :class:`MdsError` — descending is not an MDS
         operation (it would require enumerating descendants and is handled
         separately by :func:`contains` where exactness demands it).
+
+        Results are memoized per ``(version, dim, target_level)`` while
+        :func:`caches_enabled` is on; a cached result is a frozenset shared
+        between callers, so it must not be mutated.  Every mutator bumps the
+        version and drops the memo, keeping the cache semantically
+        invisible.
         """
         own_level = self._levels[dim]
         if target_level == own_level:
@@ -199,10 +256,20 @@ class MDS:
                 "cannot adapt dimension %d downwards (level %d -> %d)"
                 % (dim, own_level, target_level)
             )
-        return {
-            hierarchy.ancestor(value, target_level)
-            for value in self._sets[dim]
-        }
+        if not hotpath.enabled():
+            return {
+                hierarchy.ancestor(value, target_level)
+                for value in self._sets[dim]
+            }
+        key = (self._version, dim, target_level)
+        cached = self._adapt_cache.get(key)
+        if cached is None:
+            cached = frozenset(
+                hierarchy.ancestor(value, target_level)
+                for value in self._sets[dim]
+            )
+            self._adapt_cache[key] = cached
+        return cached
 
     def adapted_to(self, levels, hierarchies):
         """A copy of this MDS with every dimension lifted to ``levels``."""
@@ -312,6 +379,49 @@ def contains(container, contained, hierarchies):
                 if not hierarchy.descendants_at_level(value, level_out) <= outer:
                     return False
     return True
+
+
+def classify(range_mds, entry_mds, hierarchies, check_containment=True):
+    """Fused overlap/containment test: one adaptation pass per dimension.
+
+    Returns :data:`DISJOINT`, :data:`PARTIAL` or :data:`CONTAINED`
+    (``entry_mds`` inside ``range_mds``), with the same semantics as the
+    composite ``overlaps(...)`` → ``contains(range, entry)`` call pair the
+    query traversals used to make — but each dimension is adapted exactly
+    once, with early exit as soon as one dimension is disjoint.  Passing
+    ``check_containment=False`` skips the containment half entirely (the
+    caller only wants the overlap signal) and never returns CONTAINED.
+    """
+    contained = check_containment
+    for dim in range(range_mds.n_dimensions):
+        level_r = range_mds.level(dim)
+        level_e = entry_mds.level(dim)
+        hierarchy = hierarchies[dim]
+        range_set = range_mds.value_set(dim)
+        entry_set = entry_mds.value_set(dim)
+        if level_r == level_e:
+            if range_set.isdisjoint(entry_set):
+                return DISJOINT
+            if contained and not entry_set <= range_set:
+                contained = False
+        elif level_r > level_e:
+            lifted = entry_mds.adapted_set(dim, level_r, hierarchy)
+            if range_set.isdisjoint(lifted):
+                return DISJOINT
+            if contained and not lifted <= range_set:
+                contained = False
+        else:
+            lifted_range = range_mds.adapted_set(dim, level_e, hierarchy)
+            if lifted_range.isdisjoint(entry_set):
+                return DISJOINT
+            if contained:
+                for value in entry_set:
+                    if not hierarchy.descendants_at_level(
+                        value, level_r
+                    ) <= range_set:
+                        contained = False
+                        break
+    return CONTAINED if contained else PARTIAL
 
 
 def covers_record(mds, record, hierarchies):

@@ -141,10 +141,9 @@ class DCTree:
             if self._overfull(node):
                 return self._split_or_grow(node)
             return None
-        child = self._choose_subtree(node, record)
+        child, position = self._choose_subtree(node, record)
         child_split = self._insert_into(child, record)
         if child_split is not None:
-            position = node.children.index(child)
             node.children[position:position + 1] = list(child_split)
             self.tracker.access_node(node.page_id, node.n_blocks)
             self.tracker.write_node(node.page_id)
@@ -153,26 +152,36 @@ class DCTree:
         return None
 
     def _choose_subtree(self, node, record):
-        """Pick the son the record descends into.
+        """Pick the son the record descends into; returns (child, position).
 
         Criteria (in order): least growth of the child's MDS size, least
         resulting volume, fewest entries.  A child that already covers the
-        record therefore always wins.
+        record therefore always wins.  The record's value at each
+        (dimension, level) pair is resolved once per insert, not once per
+        child — siblings overwhelmingly share relevant levels.
         """
         best = None
         best_key = None
-        for child in node.children:
+        best_position = 0
+        value_at = {}
+        n_dimensions = self.schema.n_dimensions
+        hierarchies = self.hierarchies
+        for position, child in enumerate(node.children):
             growth = 0
             volume = 1
-            for dim in range(self.schema.n_dimensions):
-                level = child.mds.level(dim)
-                hierarchy = self.hierarchies[dim]
-                if level >= hierarchy.top_level:
-                    value = hierarchy.all_id
-                else:
-                    value = record.value_at_level(dim, level)
-                cardinality = child.mds.cardinality(dim)
-                if value not in child.mds.value_set(dim):
+            child_mds = child.mds
+            for dim in range(n_dimensions):
+                level = child_mds.level(dim)
+                value = value_at.get((dim, level))
+                if value is None:
+                    hierarchy = hierarchies[dim]
+                    if level >= hierarchy.top_level:
+                        value = hierarchy.all_id
+                    else:
+                        value = record.value_at_level(dim, level)
+                    value_at[(dim, level)] = value
+                cardinality = child_mds.cardinality(dim)
+                if value not in child_mds.value_set(dim):
                     growth += 1
                     cardinality += 1
                 volume *= cardinality
@@ -180,8 +189,9 @@ class DCTree:
             if best_key is None or key < best_key:
                 best_key = key
                 best = child
-        self.tracker.cpu(len(node.children) * self.schema.n_dimensions)
-        return best
+                best_position = position
+        self.tracker.cpu(len(node.children) * n_dimensions)
+        return best, best_position
 
     def _grow_root(self, split_pair):
         """Install a new root above a split root (tree grows by one level)."""
@@ -387,12 +397,13 @@ class DCTree:
         for dim in range(group_mds.n_dimensions):
             level = group_mds.level(dim)
             if child.mds.level(dim) <= level:
-                group_mds.value_set(dim).update(
-                    child.mds.adapted_set(dim, level, self.hierarchies[dim])
+                group_mds.update_values(
+                    dim,
+                    child.mds.adapted_set(dim, level, self.hierarchies[dim]),
                 )
             else:
-                group_mds.value_set(dim).update(
-                    self._collect_values(child, dim, level)
+                group_mds.update_values(
+                    dim, self._collect_values(child, dim, level)
                 )
 
     def _aggregate_of_nodes(self, nodes):
@@ -412,6 +423,29 @@ class DCTree:
     # ------------------------------------------------------------------
     # range queries (Fig. 7)
     # ------------------------------------------------------------------
+
+    def _classify_entry(self, range_mds, entry_mds, check_containment=True):
+        """DISJOINT/PARTIAL/CONTAINED classification of one directory entry.
+
+        With ``use_hot_path_caches`` on, this is the fused single-pass
+        :func:`~repro.core.mds.classify` (each dimension adapted exactly
+        once, memoized); otherwise the legacy ``overlaps`` + ``contains``
+        call pair.  Either way one :func:`~repro.core.mds.operation_cost`
+        charge is made — the cost model prices the *logical* comparison,
+        so simulated times stay comparable across the ablation.
+        """
+        self.tracker.cpu(mds_mod.operation_cost(range_mds, entry_mds))
+        if self.config.use_hot_path_caches:
+            return mds_mod.classify(
+                range_mds, entry_mds, self.hierarchies, check_containment
+            )
+        if not mds_mod.overlaps(range_mds, entry_mds, self.hierarchies):
+            return mds_mod.DISJOINT
+        if check_containment and mds_mod.contains(
+            range_mds, entry_mds, self.hierarchies
+        ):
+            return mds_mod.CONTAINED
+        return mds_mod.PARTIAL
 
     def range_query(self, range_mds, op="sum", measure=0):
         """Aggregate ``op`` of one measure over the cells in ``range_mds``.
@@ -452,16 +486,14 @@ class DCTree:
             return best
         candidates = []
         for child in node.children:
-            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
-            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+            outcome = self._classify_entry(range_mds, child.mds)
+            if outcome == mds_mod.DISJOINT:
                 continue
             summary = child.aggregate.summaries[measure_index]
             if summary.count == 0:
                 continue
             bound = summary.max if sign > 0 else summary.min
-            contained = mds_mod.contains(
-                range_mds, child.mds, self.hierarchies
-            )
+            contained = outcome == mds_mod.CONTAINED
             candidates.append((sign * bound, contained, bound, child))
         # Most promising bound first maximizes subsequent pruning.
         candidates.sort(key=lambda item: item[0], reverse=True)
@@ -519,11 +551,10 @@ class DCTree:
             )
         estimate = 0.0
         for child in node.children:
-            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
-            shared = mds_mod.overlap(range_mds, child.mds, self.hierarchies)
-            if shared == 0:
+            outcome = self._classify_entry(range_mds, child.mds)
+            if outcome == mds_mod.DISJOINT:
                 continue
-            if mds_mod.contains(range_mds, child.mds, self.hierarchies):
+            if outcome == mds_mod.CONTAINED:
                 estimate += child.aggregate.count
             elif depth_budget > 0:
                 estimate += self._estimate_node(
@@ -550,6 +581,10 @@ class DCTree:
             entry_level = entry_mds.level(dim)
             query_set = range_mds.value_set(dim)
             if query_level >= entry_level:
+                # Inspecting the entry means lifting each of its stored
+                # values; charge those, not the (possibly collapsed)
+                # adapted set.
+                self.tracker.cpu(entry_mds.cardinality(dim))
                 entry_set = entry_mds.adapted_set(dim, query_level, hierarchy)
                 covered = len(entry_set & query_set)
                 total = len(entry_set)
@@ -560,9 +595,9 @@ class DCTree:
                     descendants = hierarchy.descendants_at_level(
                         value, query_level
                     )
+                    self.tracker.cpu(len(descendants))
                     covered += len(descendants & query_set)
                     total += len(descendants)
-            self.tracker.cpu(total)
             if total == 0:
                 return 0.0
             fraction *= covered / total
@@ -587,12 +622,12 @@ class DCTree:
             return
         use_aggregates = self.config.use_materialized_aggregates
         for child in node.children:
-            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
-            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+            outcome = self._classify_entry(
+                range_mds, child.mds, check_containment=use_aggregates
+            )
+            if outcome == mds_mod.DISJOINT:
                 continue
-            if use_aggregates and mds_mod.contains(
-                range_mds, child.mds, self.hierarchies
-            ):
+            if outcome == mds_mod.CONTAINED:
                 aggregator.add_vector(child.aggregate)
             else:
                 self._query_node(child, range_mds, aggregator)
@@ -606,8 +641,10 @@ class DCTree:
                     result.append(record)
             return
         for child in node.children:
-            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
-            if mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
+            outcome = self._classify_entry(
+                range_mds, child.mds, check_containment=False
+            )
+            if outcome != mds_mod.DISJOINT:
                 self._collect_records(child, range_mds, result)
 
     def _measure_index(self, measure):
@@ -689,19 +726,18 @@ class DCTree:
             return
         use_aggregates = self.config.use_materialized_aggregates
         for child in node.children:
-            self.tracker.cpu(mds_mod.operation_cost(range_mds, child.mds))
-            if not mds_mod.overlaps(range_mds, child.mds, self.hierarchies):
-                continue
             single_group = None
             if child.mds.level(dim_index) <= level:
                 lifted = child.mds.adapted_set(dim_index, level, hierarchy)
                 if len(lifted) == 1:
                     single_group = next(iter(lifted))
-            if (
-                use_aggregates
-                and single_group is not None
-                and mds_mod.contains(range_mds, child.mds, self.hierarchies)
-            ):
+            outcome = self._classify_entry(
+                range_mds, child.mds,
+                check_containment=use_aggregates and single_group is not None,
+            )
+            if outcome == mds_mod.DISJOINT:
+                continue
+            if outcome == mds_mod.CONTAINED:
                 self._group_for(single_group, op, measure_index, groups) \
                     .add_vector(child.aggregate)
             else:
@@ -822,7 +858,7 @@ class DCTree:
     def _recompute_leaf_summary(self, node):
         node.aggregate.clear()
         for dim in range(node.mds.n_dimensions):
-            node.mds.value_set(dim).clear()
+            node.mds.clear_dimension(dim)
         for record in node.records:
             node.aggregate.add_record(record)
             node.mds.add_record(record, self.hierarchies)
@@ -831,7 +867,7 @@ class DCTree:
     def _recompute_dir_summary(self, node):
         node.aggregate.clear()
         for dim in range(node.mds.n_dimensions):
-            node.mds.value_set(dim).clear()
+            node.mds.clear_dimension(dim)
         for child in node.children:
             node.aggregate.add_vector(child.aggregate)
             self._extend_with_child(node.mds, child)

@@ -19,6 +19,7 @@ repeat under every nation, Fig. 9 of the paper).
 
 from __future__ import annotations
 
+from .. import hotpath
 from ..errors import HierarchyError
 from . import ids as ids_mod
 
@@ -53,6 +54,12 @@ class ConceptHierarchy:
         self._child_by_label = {}
         self._level_values = {}
         self._descendant_cache = {}
+        # Flattened ancestor tables: per ID the tuple of its ancestors from
+        # itself up to ALL, so ancestor() is a single indexed lookup.  A
+        # value's ancestry is fixed at creation (hierarchies only ever grow
+        # downwards), so the tables never need invalidation — only the
+        # descendant cache does.
+        self._ancestor_table = {}
         self.all_id = self._new_node(self.top_level, "ALL", parent=None)
 
     # ------------------------------------------------------------------
@@ -142,17 +149,19 @@ class ConceptHierarchy:
         self._children[attr_id] = []
         self._label[attr_id] = label
         self._level_values.setdefault(level, []).append(attr_id)
-        if parent is not None:
+        if parent is None:
+            self._ancestor_table[attr_id] = (attr_id,)
+        else:
+            self._ancestor_table[attr_id] = \
+                (attr_id,) + self._ancestor_table[parent]
             self._children[parent].append(attr_id)
             self._child_by_label[(parent, label)] = attr_id
             self._invalidate_ancestor_caches(attr_id)
         return attr_id
 
     def _invalidate_ancestor_caches(self, attr_id):
-        node = attr_id
-        while node is not None:
+        for node in self._ancestor_table[attr_id]:
             self._descendant_cache.pop(node, None)
-            node = self._parent.get(node)
 
     # ------------------------------------------------------------------
     # navigation
@@ -197,18 +206,46 @@ class ConceptHierarchy:
         """Ancestor of ``attr_id`` at ``level`` (may be ``attr_id`` itself).
 
         This realizes the partial ordering of Definition 1:
-        ``a <= ancestor(a, level)`` for every value ``a``.
+        ``a <= ancestor(a, level)`` for every value ``a``.  O(1): one
+        lookup in the flattened ancestor table built at insertion time.
         """
-        own_level = self.level_of(attr_id)
-        if level < own_level:
+        try:
+            ancestors = self._ancestor_table[attr_id]
+        except KeyError:
+            raise HierarchyError(
+                "unknown ID %r in dimension %r" % (attr_id, self.name)
+            ) from None
+        own_level = ids_mod.level_of(attr_id)
+        offset = level - own_level
+        if offset < 0:
             raise HierarchyError(
                 "cannot take ancestor at level %d of a level-%d value"
                 % (level, own_level)
             )
-        node = attr_id
-        for _ in range(level - own_level):
-            node = self._parent[node]
-        return node
+        if offset >= len(ancestors):
+            raise HierarchyError(
+                "level %r out of range for dimension %r" % (level, self.name)
+            )
+        if not hotpath.enabled():
+            # Legacy parent walk, kept so the ablation benchmark can price
+            # the flattened tables.
+            node = attr_id
+            for _ in range(offset):
+                node = self._parent[node]
+            return node
+        return ancestors[offset]
+
+    def ancestors_of(self, attr_id):
+        """All ancestors from ``attr_id`` itself up to ALL (a tuple).
+
+        ``ancestors_of(a)[k]`` is the ancestor at ``level_of(a) + k``.
+        """
+        try:
+            return self._ancestor_table[attr_id]
+        except KeyError:
+            raise HierarchyError(
+                "unknown ID %r in dimension %r" % (attr_id, self.name)
+            ) from None
 
     def is_descendant_or_self(self, a, b):
         """Partial ordering test ``a <= b`` (Definition 1)."""
@@ -310,6 +347,9 @@ class ConceptHierarchy:
             self._children[attr_id] = []
             self._label[attr_id] = label
             self._level_values.setdefault(level, []).append(attr_id)
+            # Rows arrive top-down, so the parent's table already exists.
+            self._ancestor_table[attr_id] = \
+                (attr_id,) + self._ancestor_table[parent]
             self._children[parent].append(attr_id)
             self._child_by_label[(parent, label)] = attr_id
             counter = ids_mod.counter_of(attr_id)

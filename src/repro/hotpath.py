@@ -1,0 +1,44 @@
+"""Global switch for the hot-path acceleration layer.
+
+The acceleration layer — O(1) flattened ancestor tables in
+:class:`~repro.cube.hierarchy.ConceptHierarchy`, versioned adaptation
+memos in :class:`~repro.core.mds.MDS`, and the fused
+:func:`~repro.core.mds.classify` entry test — is semantically invisible:
+every operation returns identical results with it on or off.  This module
+holds the single process-wide switch the ablation benchmarks flip to
+price it (``python -m repro.bench regression``); the per-tree
+``DCTreeConfig.use_hot_path_caches`` flag additionally selects the fused
+vs. legacy entry classification inside one tree.
+
+The switch is read on every hot operation, so flipping it mid-run is safe:
+memoized state is keyed by version and simply goes cold, never stale.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_enabled = True
+
+
+def enabled():
+    """True while the acceleration layer is active (the default)."""
+    return _enabled
+
+
+def set_enabled(flag):
+    """Enable/disable the acceleration layer; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled():
+    """Run the body with the acceleration layer off (legacy code paths)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro import CubeSchema, Dimension, Measure, TPCDGenerator, make_tpcd_schema
+
+# Tiered Hypothesis profiles: "ci" runs the full example budget, "dev"
+# keeps the suite fast during iteration.  Select with HYPOTHESIS_PROFILE.
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def build_toy_schema():

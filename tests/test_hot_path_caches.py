@@ -1,0 +1,433 @@
+"""Equivalence suite for the hot-path acceleration layer.
+
+The flattened ancestor tables, the versioned MDS adaptation memo and the
+fused classify() test must be semantically invisible: every operation
+returns identical results with the layer on (the default) and off
+(``repro.hotpath.disabled()`` + ``DCTreeConfig(use_hot_path_caches=False)``,
+which together restore the legacy parent-walking/uncached/two-call code
+paths).  Property tests drive random hierarchies, MDS pairs and whole
+trees through both modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import hotpath
+from repro.bench import regression
+from repro.config import DCTreeConfig
+from repro.core import mds as mds_mod
+from repro.core.mds import MDS
+from repro.core.tree import DCTree
+from repro.cube.schema import CubeSchema, Dimension, Measure
+from repro.workload.queries import QueryGenerator
+
+REGIONS = ("EU", "NA", "ASIA")
+NATIONS = ("DE", "FR", "US", "CA", "JP")
+COLORS = ("red", "green", "blue", "black")
+
+
+def build_schema():
+    return CubeSchema(
+        dimensions=[
+            Dimension("Geo", ("City", "Nation", "Region")),
+            Dimension("Color", ("Color",)),
+        ],
+        measures=[Measure("Sales")],
+    )
+
+
+def make_records(schema, n, seed, city_pool=40):
+    rng = random.Random(seed)
+    records = []
+    for index in range(n):
+        region = rng.choice(REGIONS)
+        nation = rng.choice(NATIONS)
+        city = "city%d" % rng.randrange(city_pool)
+        color = rng.choice(COLORS)
+        records.append(
+            schema.record(
+                ((region, nation, city), (color,)),
+                (float(rng.randrange(1, 1000)),),
+            )
+        )
+        del index
+    return records
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(REGIONS),
+        st.sampled_from(NATIONS),
+        st.integers(min_value=0, max_value=9),
+        st.sampled_from(COLORS),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def populate(rows):
+    """Build the schema and insert each row's path into the hierarchies."""
+    schema = build_schema()
+    records = [
+        schema.record(
+            ((region, nation, "city%d" % city), (color,)), (1.0,)
+        )
+        for region, nation, city, color in rows
+    ]
+    return schema, records
+
+
+def draw_mds(draw, schema):
+    """One random MDS over the populated hierarchies."""
+    sets = []
+    levels = []
+    for dimension in schema.dimensions:
+        hierarchy = dimension.hierarchy
+        level = draw(st.integers(min_value=0, max_value=hierarchy.top_level))
+        if level >= hierarchy.top_level:
+            values = {hierarchy.all_id}
+        else:
+            candidates = sorted(hierarchy.values_at_level(level))
+            values = draw(
+                st.sets(st.sampled_from(candidates), min_size=1)
+            )
+        levels.append(level)
+        sets.append(values)
+    return MDS(sets, levels)
+
+
+@st.composite
+def mds_pairs(draw):
+    rows = draw(rows_strategy)
+    schema, _ = populate(rows)
+    return schema, draw_mds(draw, schema), draw_mds(draw, schema)
+
+
+class TestAncestorTables:
+    @given(rows=rows_strategy)
+    def test_ancestor_matches_parent_walk(self, rows):
+        schema, _ = populate(rows)
+        for dimension in schema.dimensions:
+            hierarchy = dimension.hierarchy
+            for level in range(hierarchy.top_level + 1):
+                for value in hierarchy.values_at_level(level):
+                    for target in range(level, hierarchy.top_level + 1):
+                        fast = hierarchy.ancestor(value, target)
+                        with hotpath.disabled():
+                            slow = hierarchy.ancestor(value, target)
+                        assert fast == slow
+
+    def test_ancestors_of_spans_to_all(self):
+        schema, records = populate([("EU", "DE", 1, "red")])
+        hierarchy = schema.dimensions[0].hierarchy
+        leaf = records[0].leaf_value(0)
+        ancestors = hierarchy.ancestors_of(leaf)
+        assert ancestors[0] == leaf
+        assert ancestors[-1] == hierarchy.all_id
+        assert len(ancestors) == hierarchy.top_level + 1
+
+    def test_table_grows_with_dynamic_insertion(self):
+        schema, _ = populate([("EU", "DE", 1, "red")])
+        hierarchy = schema.dimensions[0].hierarchy
+        path = hierarchy.insert_path(("NA", "CA", "city99"))
+        assert hierarchy.ancestor(path[-1], hierarchy.top_level) \
+            == hierarchy.all_id
+        assert hierarchy.ancestor(path[-1], 2) == path[0]
+
+    def test_restore_rebuilds_tables(self):
+        schema, _ = populate(
+            [("EU", "DE", 1, "red"), ("NA", "US", 2, "blue")]
+        )
+        source = schema.dimensions[0].hierarchy
+        from repro.cube.hierarchy import ConceptHierarchy
+
+        clone = ConceptHierarchy(source.name, source.level_names)
+        clone.restore_nodes(source.dump_nodes())
+        for level in range(source.top_level + 1):
+            for value in source.values_at_level(level):
+                for target in range(level, source.top_level + 1):
+                    assert clone.ancestor(value, target) \
+                        == source.ancestor(value, target)
+
+
+class TestAdaptationMemo:
+    @given(pair=mds_pairs())
+    def test_cached_equals_uncached(self, pair):
+        schema, mds, _ = pair
+        for dim, dimension in enumerate(schema.dimensions):
+            hierarchy = dimension.hierarchy
+            for target in range(mds.level(dim), hierarchy.top_level + 1):
+                cached = mds.adapted_set(dim, target, hierarchy)
+                with hotpath.disabled():
+                    uncached = mds.adapted_set(dim, target, hierarchy)
+                assert set(cached) == set(uncached)
+
+    def test_memo_hit_returns_same_object(self):
+        schema, records = populate([("EU", "DE", 1, "red")])
+        hierarchies = tuple(d.hierarchy for d in schema.dimensions)
+        hierarchy = hierarchies[0]
+        mds = MDS.for_record(records[0], (0, 0), hierarchies)
+        first = mds.adapted_set(0, 2, hierarchy)
+        second = mds.adapted_set(0, 2, hierarchy)
+        assert first is second
+
+    def test_mutators_bump_version_and_invalidate(self):
+        schema, records = populate(
+            [("EU", "DE", 1, "red"), ("NA", "US", 2, "blue")]
+        )
+        hierarchies = tuple(d.hierarchy for d in schema.dimensions)
+        hierarchy = hierarchies[0]
+        mds = MDS.for_record(records[0], (0, 0), hierarchies)
+        before = mds.adapted_set(0, 2, hierarchy)
+        version = mds.version
+        mds.add_record(records[1], hierarchies)
+        assert mds.version > version
+        after = mds.adapted_set(0, 2, hierarchy)
+        assert after != before
+        assert records[1].value_at_level(0, 2) in after
+
+        version = mds.version
+        other = MDS.for_record(records[0], (0, 0), hierarchies)
+        mds.add_mds(other, hierarchies)
+        assert mds.version > version
+
+        version = mds.version
+        mds.update_values(1, {records[1].leaf_value(1)})
+        assert mds.version > version
+        assert records[1].leaf_value(1) in mds.value_set(1)
+
+        version = mds.version
+        mds.refine_dimension(0, {records[0].leaf_value(0)}, 0)
+        assert mds.version > version
+
+        version = mds.version
+        mds.clear_dimension(0)
+        assert mds.version > version
+        assert mds.cardinality(0) == 0
+
+
+class TestFusedClassifier:
+    @given(pair=mds_pairs())
+    def test_classify_matches_overlaps_plus_contains(self, pair):
+        schema, range_mds, entry_mds = pair
+        hierarchies = tuple(d.hierarchy for d in schema.dimensions)
+        with hotpath.disabled():
+            if not mds_mod.overlaps(range_mds, entry_mds, hierarchies):
+                expected = mds_mod.DISJOINT
+            elif mds_mod.contains(range_mds, entry_mds, hierarchies):
+                expected = mds_mod.CONTAINED
+            else:
+                expected = mds_mod.PARTIAL
+        assert mds_mod.classify(range_mds, entry_mds, hierarchies) \
+            == expected
+
+    @given(pair=mds_pairs())
+    def test_classify_without_containment(self, pair):
+        schema, range_mds, entry_mds = pair
+        hierarchies = tuple(d.hierarchy for d in schema.dimensions)
+        outcome = mds_mod.classify(
+            range_mds, entry_mds, hierarchies, check_containment=False
+        )
+        assert outcome in (mds_mod.DISJOINT, mds_mod.PARTIAL)
+        assert (outcome != mds_mod.DISJOINT) \
+            == mds_mod.overlaps(range_mds, entry_mds, hierarchies)
+
+
+def _build_pair_of_trees(n_records, seed, capacity=8):
+    """Two trees over identical record streams: caches on vs. fully off."""
+    schema_fast = build_schema()
+    schema_slow = build_schema()
+    records_fast = make_records(schema_fast, n_records, seed)
+    records_slow = make_records(schema_slow, n_records, seed)
+    fast = DCTree(
+        schema_fast,
+        config=DCTreeConfig(dir_capacity=4, leaf_capacity=capacity),
+    )
+    slow = DCTree(
+        schema_slow,
+        config=DCTreeConfig(
+            dir_capacity=4, leaf_capacity=capacity,
+            use_hot_path_caches=False,
+        ),
+    )
+    for record in records_fast:
+        fast.insert(record)
+    with hotpath.disabled():
+        for record in records_slow:
+            slow.insert(record)
+    return fast, slow, records_fast, records_slow
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_queries_identical_cached_vs_uncached(self, seed):
+        fast, slow, _, _ = _build_pair_of_trees(250, seed)
+        queries_fast = QueryGenerator(
+            fast.schema, 0.3, seed=seed + 10
+        ).queries(15)
+        queries_slow = QueryGenerator(
+            slow.schema, 0.3, seed=seed + 10
+        ).queries(15)
+        for query_fast, query_slow in zip(queries_fast, queries_slow):
+            assert query_fast.mds == query_slow.mds
+            for op in ("sum", "count", "min", "max"):
+                got = fast.range_query(query_fast.mds, op=op)
+                with hotpath.disabled():
+                    want = slow.range_query(query_slow.mds, op=op)
+                assert got == want, op
+            got_records = sorted(repr(r) for r in
+                                 fast.range_records(query_fast.mds))
+            got_estimate = fast.estimate_count(query_fast.mds)
+            with hotpath.disabled():
+                want_records = sorted(repr(r) for r in
+                                      slow.range_records(query_slow.mds))
+                want_estimate = slow.estimate_count(query_slow.mds)
+            assert got_records == want_records
+            assert got_estimate == pytest.approx(want_estimate)
+
+    def test_group_by_identical_cached_vs_uncached(self):
+        fast, slow, _, _ = _build_pair_of_trees(250, seed=5)
+        restriction_fast = QueryGenerator(fast.schema, 0.4, seed=3).query()
+        restriction_slow = QueryGenerator(slow.schema, 0.4, seed=3).query()
+        for dim in range(fast.schema.n_dimensions):
+            top = fast.hierarchies[dim].top_level
+            for level in range(top):
+                for range_mds_fast, range_mds_slow in (
+                    (None, None),
+                    (restriction_fast.mds, restriction_slow.mds),
+                ):
+                    got = fast.group_by(dim, level, range_mds=range_mds_fast)
+                    with hotpath.disabled():
+                        want = slow.group_by(
+                            dim, level, range_mds=range_mds_slow
+                        )
+                    assert got == want
+
+    def test_deterministic_counters_identical(self):
+        """I/O and CPU charges must not depend on the acceleration layer."""
+        fast, slow, _, _ = _build_pair_of_trees(200, seed=9)
+        fast.tracker.reset(clear_buffer=True)
+        slow.tracker.reset(clear_buffer=True)
+        query_fast = QueryGenerator(fast.schema, 0.25, seed=4).query()
+        query_slow = QueryGenerator(slow.schema, 0.25, seed=4).query()
+        fast.range_query(query_fast.mds)
+        with hotpath.disabled():
+            slow.range_query(query_slow.mds)
+        got = fast.tracker.snapshot()
+        want = slow.tracker.snapshot()
+        assert got.node_accesses == want.node_accesses
+        assert got.cpu_units == want.cpu_units
+        assert got.page_ios == want.page_ios
+
+
+class TestDynamicInvalidation:
+    def test_invariants_after_interleaved_insert_delete(self):
+        """Acceptance: invalidation correctness under hierarchy growth."""
+        fast, slow, records_fast, records_slow = _build_pair_of_trees(
+            220, seed=11
+        )
+        # Delete every third record, then insert fresh records that force
+        # brand-new hierarchy nodes (dynamic growth after deletions).
+        for record in records_fast[::3]:
+            fast.delete(record)
+        with hotpath.disabled():
+            for record in records_slow[::3]:
+                slow.delete(record)
+        growth_fast = make_records(fast.schema, 60, seed=77, city_pool=500)
+        growth_slow = make_records(slow.schema, 60, seed=77, city_pool=500)
+        for record in growth_fast:
+            fast.insert(record)
+        with hotpath.disabled():
+            for record in growth_slow:
+                slow.insert(record)
+        assert fast.check_invariants() == len(fast)
+        assert slow.check_invariants() == len(slow)
+        query_fast = QueryGenerator(fast.schema, 0.5, seed=8).query()
+        query_slow = QueryGenerator(slow.schema, 0.5, seed=8).query()
+        got = fast.range_query(query_fast.mds)
+        with hotpath.disabled():
+            want = slow.range_query(query_slow.mds)
+        assert got == want
+
+
+class TestRegressionHarness:
+    def test_both_modes_produce_identical_digests(self):
+        cached, digest_cached = regression.run_workload(
+            True, n_records=150, n_queries=6, seed=3
+        )
+        with hotpath.disabled():
+            uncached, digest_uncached = regression.run_workload(
+                False, n_records=150, n_queries=6, seed=3
+            )
+        assert digest_cached == digest_uncached
+        for phase in ("insert", "query", "groupby"):
+            assert cached[phase]["cpu_units"] == uncached[phase]["cpu_units"]
+            assert cached[phase]["page_ios"] == uncached[phase]["page_ios"]
+
+    def test_compare_to_baseline_flags_regressions(self):
+        entry = {
+            "records": 100, "queries": 5, "seed": 0, "digest": "abc",
+            "modes": {"cached": {
+                "insert": _fake_phase(100), "query": _fake_phase(50),
+                "groupby": _fake_phase(20),
+            }},
+        }
+        same = compare = regression.compare_to_baseline(
+            entry, entry, tolerance=0.2
+        )
+        assert same == []
+        worse = {
+            "records": 100, "queries": 5, "seed": 0, "digest": "abc",
+            "modes": {"cached": {
+                "insert": _fake_phase(100), "query": _fake_phase(80),
+                "groupby": _fake_phase(20),
+            }},
+        }
+        compare = regression.compare_to_baseline(worse, entry, tolerance=0.2)
+        assert any("query" in problem for problem in compare)
+        mismatched = dict(entry, records=999)
+        compare = regression.compare_to_baseline(
+            mismatched, entry, tolerance=0.2
+        )
+        assert any("workload mismatch" in problem for problem in compare)
+
+    def test_strict_wall_checks_ops_per_second(self):
+        baseline = {
+            "records": 1, "queries": 1, "seed": 0, "digest": "d",
+            "modes": {"cached": {
+                "insert": _fake_phase(10, ops_per_second=1000.0),
+                "query": _fake_phase(10, ops_per_second=1000.0),
+                "groupby": _fake_phase(10, ops_per_second=1000.0),
+            }},
+        }
+        slow_run = {
+            "records": 1, "queries": 1, "seed": 0, "digest": "d",
+            "modes": {"cached": {
+                "insert": _fake_phase(10, ops_per_second=1000.0),
+                "query": _fake_phase(10, ops_per_second=100.0),
+                "groupby": _fake_phase(10, ops_per_second=1000.0),
+            }},
+        }
+        assert regression.compare_to_baseline(
+            slow_run, baseline, tolerance=0.2
+        ) == []
+        problems = regression.compare_to_baseline(
+            slow_run, baseline, tolerance=0.2, strict_wall=True
+        )
+        assert any("ops/sec" in problem for problem in problems)
+
+
+def _fake_phase(units, ops_per_second=100.0):
+    return {
+        "node_accesses": units,
+        "page_ios": units,
+        "cpu_units": units,
+        "ops_per_second": ops_per_second,
+        "wall_seconds": 1.0,
+        "ops": 1,
+    }
