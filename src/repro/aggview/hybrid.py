@@ -13,7 +13,6 @@ Every answer is exact: a stale or non-covering view is simply bypassed.
 from __future__ import annotations
 
 from ..errors import SchemaError
-from ..warehouse import Warehouse
 from ..workload.queries import query_from_labels
 from .view import MaterializedAggregateView
 

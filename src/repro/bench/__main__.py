@@ -78,9 +78,10 @@ def main(argv=None):
         sweep_kwargs["sizes"] = args.sizes
     if args.queries is not None:
         sweep_kwargs["n_queries"] = args.queries
-    sweep_kwargs["progress"] = lambda message: print(
-        "... %s" % message, file=sys.stderr
-    )
+    def _progress(message):
+        print("... %s" % message, file=sys.stderr)
+
+    sweep_kwargs["progress"] = _progress
 
     ablation_kwargs = {"seed": args.seed}
     if args.quick:

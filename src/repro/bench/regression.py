@@ -1,11 +1,19 @@
 """Performance-regression benchmark: ``python -m repro.bench regression``.
 
-Runs one fixed-seed insert / range-query / group-by workload over the
-TPC-D cube twice — once with the hot-path acceleration layer on (the
-default) and once with it off (legacy parent-walking ancestors, uncached
-adaptation, separate overlaps+contains) — and records per-phase wall
-times, ops/sec and the deterministic tracker counters (node accesses,
-page I/Os, CPU units) in ``BENCH_core.json``.
+Runs one fixed-seed insert / range-query / group-by / repeated-query
+workload over the TPC-D cube twice — once with the acceleration layer on
+(hot-path caches plus the versioned query-result cache, the default) and
+once with it off (legacy parent-walking ancestors, uncached adaptation,
+separate overlaps+contains, every query recomputed) — and records
+per-phase wall times, ops/sec and the deterministic tracker counters
+(node accesses, page I/Os, CPU units) in ``BENCH_core.json``.
+
+The *repeat* phase prices the result cache: queries already asked once
+are re-asked with Zipfian popularity (a hot head of favourite reports, a
+long tail — the canonical repeated OLAP workload).  With the cache on,
+re-asks are answered from memory while the recorded tracker charges are
+replayed, so the deterministic counters still match the uncached mode
+exactly and only wall-clock improves.
 
 Regression checking compares the *deterministic* counters of the cached
 mode against the committed baseline with a configurable tolerance, so CI
@@ -17,9 +25,10 @@ the caches are required to be semantically invisible.
 Profiles:
 
 * ``full``  — 30 000 records, 100 mixed-selectivity queries (1/5/25 %)
-  plus the standard group-by battery; the headline numbers.
-* ``smoke`` (``--smoke``) — 4 000 records, 30 queries; finishes in well
-  under a minute and is meant as a CI gate.
+  plus the standard group-by battery and 400 Zipfian re-asks; the
+  headline numbers.
+* ``smoke`` (``--smoke``) — 4 000 records, 30 queries, 120 re-asks;
+  finishes in well under a minute and is meant as a CI gate.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import random
 import sys
 import time
 
@@ -40,9 +50,12 @@ from ..workload.queries import QueryGenerator
 #: Selectivities mixed into the query batch (the paper's Fig. 12 set).
 SELECTIVITIES = (0.01, 0.05, 0.25)
 
+#: Skew of the repeated-query phase (weight of rank r is 1 / r**s).
+ZIPF_EXPONENT = 1.2
+
 PROFILES = {
-    "full": {"records": 30000, "queries": 100},
-    "smoke": {"records": 4000, "queries": 30},
+    "full": {"records": 30000, "queries": 100, "repeats": 400},
+    "smoke": {"records": 4000, "queries": 30, "repeats": 120},
 }
 
 #: Counters whose growth beyond the tolerance fails the run.
@@ -98,7 +111,27 @@ def _group_by_battery(schema, seed):
     return battery
 
 
-def run_workload(use_caches, n_records, n_queries, seed=0):
+def _repeat_workload(queries, battery, n_repeats, seed):
+    """Zipfian re-ask stream over the already-asked queries/roll-ups.
+
+    The pool mixes every range query with every group-by; rank r is
+    re-asked with weight 1/r**ZIPF_EXPONENT (a hot head of favourite
+    reports, a long tail of occasional ones).  Fixed seed → both modes
+    replay the identical stream.
+    """
+    pool = [("range", query.mds) for query in queries]
+    pool.extend(
+        ("groupby", (dim, level, range_mds))
+        for dim, level, range_mds in battery
+    )
+    rng = random.Random(seed)
+    weights = [
+        1.0 / (rank ** ZIPF_EXPONENT) for rank in range(1, len(pool) + 1)
+    ]
+    return rng.choices(pool, weights=weights, k=n_repeats)
+
+
+def run_workload(use_caches, n_records, n_queries, n_repeats=0, seed=0):
     """One full benchmark pass; returns (mode-report dict, results digest).
 
     The schema/generator are rebuilt per pass with the same seed, so both
@@ -108,7 +141,9 @@ def run_workload(use_caches, n_records, n_queries, seed=0):
     schema = make_tpcd_schema()
     generator = TPCDGenerator(schema, seed=seed, scale_records=n_records)
     records = generator.generate(n_records)
-    tree = DCTree(schema, config=DCTreeConfig(use_hot_path_caches=use_caches))
+    tree = DCTree(schema, config=DCTreeConfig(
+        use_hot_path_caches=use_caches, use_result_cache=use_caches,
+    ))
 
     report = {}
     digest = hashlib.sha256()
@@ -141,9 +176,24 @@ def run_workload(use_caches, n_records, n_queries, seed=0):
         tree.tracker, before, time.perf_counter() - start, len(battery)
     )
 
+    repeats = _repeat_workload(queries, battery, n_repeats, seed=seed + 3000)
+    before = tree.tracker.snapshot()
+    start = time.perf_counter()
+    for kind, payload in repeats:
+        if kind == "range":
+            result = tree.range_query(payload)
+            digest.update(repr(result).encode())
+        else:
+            dim, level, range_mds = payload
+            groups = tree.group_by(dim, level, range_mds=range_mds)
+            digest.update(repr(sorted(groups.items())).encode())
+    report["repeat"] = _phase_stats(
+        tree.tracker, before, time.perf_counter() - start, len(repeats)
+    )
+
     report["total_wall_seconds"] = sum(
         report[phase]["wall_seconds"]
-        for phase in ("insert", "query", "groupby")
+        for phase in ("insert", "query", "groupby", "repeat")
     )
     return report, digest.hexdigest()
 
@@ -152,11 +202,12 @@ def run_benchmark(profile="full", seed=0):
     """Run both modes of one profile; returns the BENCH entry dict."""
     params = PROFILES[profile]
     cached, cached_digest = run_workload(
-        True, params["records"], params["queries"], seed
+        True, params["records"], params["queries"], params["repeats"], seed
     )
     with hotpath.disabled():
         uncached, uncached_digest = run_workload(
-            False, params["records"], params["queries"], seed
+            False, params["records"], params["queries"], params["repeats"],
+            seed,
         )
     if cached_digest != uncached_digest:
         raise AssertionError(
@@ -175,7 +226,9 @@ def run_benchmark(profile="full", seed=0):
         "seed": seed,
         "records": params["records"],
         "queries": params["queries"],
+        "repeats": params["repeats"],
         "selectivities": list(SELECTIVITIES),
+        "zipf_exponent": ZIPF_EXPONENT,
         "digest": cached_digest,
         "modes": {"cached": cached, "uncached": uncached},
         "speedup": {
@@ -186,6 +239,10 @@ def run_benchmark(profile="full", seed=0):
             "groupby_wall": _ratio(
                 uncached["groupby"]["wall_seconds"],
                 cached["groupby"]["wall_seconds"],
+            ),
+            "repeat_wall": _ratio(
+                uncached["repeat"]["wall_seconds"],
+                cached["repeat"]["wall_seconds"],
             ),
             "query_heavy_wall": _ratio(
                 query_heavy_uncached, query_heavy_cached
@@ -210,7 +267,7 @@ def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
     comparison meaningless and is reported as a problem itself.
     """
     problems = []
-    for key in ("records", "queries", "seed"):
+    for key in ("records", "queries", "repeats", "seed"):
         if current.get(key) != baseline.get(key):
             problems.append(
                 "workload mismatch: %s is %r, baseline has %r"
@@ -225,7 +282,11 @@ def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
         )
     base_cached = baseline["modes"]["cached"]
     cur_cached = current["modes"]["cached"]
-    for phase in ("insert", "query", "groupby"):
+    for phase in ("insert", "query", "groupby", "repeat"):
+        # Entries predating the repeat phase lack it; the "repeats"
+        # workload-parameter check above already catches real mismatches.
+        if phase not in base_cached or phase not in cur_cached:
+            continue
         for counter in _CHECKED_COUNTERS:
             base_value = base_cached[phase][counter]
             cur_value = cur_cached[phase][counter]
@@ -248,12 +309,13 @@ def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
 
 def _format_summary(entry):
     lines = [
-        "# bench regression — profile %s (%d records, %d queries, seed %d)"
+        "# bench regression — profile %s (%d records, %d queries, "
+        "%d re-asks, seed %d)"
         % (entry["profile"], entry["records"], entry["queries"],
-           entry["seed"]),
+           entry["repeats"], entry["seed"]),
         "phase    mode      wall(s)    ops/s   node-acc   page-io   cpu-units",
     ]
-    for phase in ("insert", "query", "groupby"):
+    for phase in ("insert", "query", "groupby", "repeat"):
         for mode in ("cached", "uncached"):
             stats = entry["modes"][mode][phase]
             lines.append(
@@ -265,9 +327,10 @@ def _format_summary(entry):
     speedup = entry["speedup"]
     lines.append(
         "speedup (uncached/cached wall): query %.2fx, group-by %.2fx, "
-        "query-heavy %.2fx, total %.2fx"
+        "repeat %.2fx, query-heavy %.2fx, total %.2fx"
         % (speedup["query_wall"], speedup["groupby_wall"],
-           speedup["query_heavy_wall"], speedup["total_wall"])
+           speedup["repeat_wall"], speedup["query_heavy_wall"],
+           speedup["total_wall"])
     )
     return "\n".join(lines)
 
@@ -295,10 +358,16 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail when the cached/uncached query-heavy "
                              "wall speedup drops below this factor")
+    parser.add_argument("--min-repeat-speedup", type=float, default=None,
+                        help="fail when the repeated-query (result-cache) "
+                             "wall speedup drops below this factor")
     parser.add_argument("--output", default="BENCH_core.json",
                         help="benchmark file to compare against and update")
     parser.add_argument("--no-write", action="store_true",
                         help="compare only; leave the benchmark file alone")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="always dump the freshly measured entry to "
+                             "PATH as JSON (CI artifact), pass or fail")
     args = parser.parse_args(argv)
 
     profile = "smoke" if args.smoke else "full"
@@ -328,6 +397,18 @@ def main(argv=None):
             failed = True
             print("REGRESSION: query-heavy speedup %.2fx below required "
                   "%.2fx" % (achieved, args.min_speedup))
+    if args.min_repeat_speedup is not None:
+        achieved = entry["speedup"]["repeat_wall"]
+        if achieved < args.min_repeat_speedup:
+            failed = True
+            print("REGRESSION: repeated-query speedup %.2fx below required "
+                  "%.2fx" % (achieved, args.min_repeat_speedup))
+
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote measurement report to %s" % args.report)
 
     if not args.no_write and not failed:
         document.setdefault("profiles", {})[profile] = entry

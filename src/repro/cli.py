@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from .core.bulkload import bulk_load
+from .core.debug import describe_result_cache
 from .core.stats import collect_stats
 from .errors import ReproError
 from .persist.io import load_warehouse, save_warehouse
@@ -231,6 +232,8 @@ def _cmd_inspect(args):
                 "  depth %d: %4d nodes, %6.1f entries avg"
                 % (level.depth, level.n_nodes, level.avg_entries)
             )
+    if warehouse.backend == "dc-tree":
+        print(describe_result_cache(warehouse.index))
     return 0
 
 

@@ -46,6 +46,16 @@ class DCTreeConfig:
         ``overlaps`` + ``contains`` call pair — the pre-acceleration code
         path the regression benchmark prices the caches against.  Results
         are identical either way (enforced by the equivalence test suite).
+    use_result_cache:
+        When True (default) full ``range_query`` / ``group_by`` answers
+        are memoized in a per-tree LRU keyed on (query digest, tree
+        version); every insert/delete/bulk-load bumps the version, so a
+        stale answer can never be served.  Cache hits replay the recorded
+        tracker charges, keeping deterministic counters identical with the
+        cache on or off (see docs/cost_model.md).  Also gated by the
+        global ``repro.hotpath`` ablation switch.
+    result_cache_capacity:
+        Maximum number of memoized answers held per tree (LRU-bounded).
     capacity_mode:
         ``"entries"`` (default) bounds nodes by entry count —
         predictable and what the comparison experiments use.
@@ -66,6 +76,8 @@ class DCTreeConfig:
         use_materialized_aggregates=True,
         capacity_mode="entries",
         use_hot_path_caches=True,
+        use_result_cache=True,
+        result_cache_capacity=128,
     ):
         if dir_capacity < 4:
             raise SchemaError("dir_capacity must be at least 4")
@@ -85,6 +97,8 @@ class DCTreeConfig:
                 "capacity_mode must be 'entries' or 'bytes', got %r"
                 % (capacity_mode,)
             )
+        if result_cache_capacity < 1:
+            raise SchemaError("result_cache_capacity must be at least 1")
         self.dir_capacity = dir_capacity
         self.leaf_capacity = leaf_capacity
         self.min_fanout_fraction = min_fanout_fraction
@@ -93,6 +107,8 @@ class DCTreeConfig:
         self.use_materialized_aggregates = use_materialized_aggregates
         self.capacity_mode = capacity_mode
         self.use_hot_path_caches = bool(use_hot_path_caches)
+        self.use_result_cache = bool(use_result_cache)
+        self.result_cache_capacity = result_cache_capacity
 
     def min_dir_fanout(self):
         """Smallest acceptable group size when splitting a directory node."""

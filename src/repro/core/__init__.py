@@ -11,6 +11,7 @@ from .mds import (
     union_cardinality,
 )
 from .node import DCDataNode, DCDirNode
+from .result_cache import ResultCache, ResultCacheStats
 from .split import (
     SplitPlan,
     choose_seeds,
@@ -19,7 +20,7 @@ from .split import (
     linear_split,
     plan_node_split,
 )
-from .stats import LevelStats, TreeStats, collect_stats
+from .stats import LevelStats, TreeStats, collect_cache_stats, collect_stats
 from .tree import DCTree
 
 __all__ = [
@@ -28,9 +29,12 @@ __all__ = [
     "DCTree",
     "LevelStats",
     "MDS",
+    "ResultCache",
+    "ResultCacheStats",
     "SplitPlan",
     "TreeStats",
     "choose_seeds",
+    "collect_cache_stats",
     "collect_stats",
     "compute_group_mds",
     "contains",

@@ -42,6 +42,9 @@ def bulk_load(schema, records, config=None, tracker=None,
     root = loader.build(records, top_levels)
     tree._root = root
     tree._n_records = len(records)
+    # The root swap is a mutation like any other: bump the tree version so
+    # the result cache can never serve an answer from before the load.
+    tree.note_mutation()
     return tree
 
 

@@ -17,6 +17,8 @@ containment test in :func:`contains`.
 
 from __future__ import annotations
 
+import hashlib
+
 from .. import hotpath
 from ..errors import MdsError
 
@@ -168,6 +170,28 @@ class MDS:
     def version(self):
         """Monotone mutation counter; adaptation memos are keyed on it."""
         return self._version
+
+    def cache_key(self):
+        """Canonical hashable digest of this MDS (result-cache key part).
+
+        One ``(frozenset, level)`` pair per dimension — exactly the
+        information Definition 3 says an MDS carries.  Two semantically
+        equal MDSs (same value sets at the same levels, however they were
+        built) produce equal keys, and two different MDSs cannot collide:
+        the key *is* the described subcube, not a lossy hash of it.
+        """
+        return self.entries
+
+    def digest(self):
+        """Stable hex digest of :meth:`cache_key` (logging/test aid).
+
+        Values are sorted per dimension before hashing, so the digest is
+        independent of set iteration order and of how the MDS was grown.
+        """
+        h = hashlib.sha256()
+        for s, level in zip(self._sets, self._levels):
+            h.update(repr((level, sorted(s))).encode())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # mutation (DC-tree maintenance)

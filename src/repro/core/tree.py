@@ -17,6 +17,7 @@ Public operations:
 
 from __future__ import annotations
 
+from .. import hotpath
 from ..config import DCTreeConfig
 from ..cube.aggregation import AggregateVector, StreamingAggregator
 from ..errors import QueryError, RecordNotFoundError, TreeError
@@ -26,6 +27,7 @@ from . import mds as mds_mod
 from . import split as split_mod
 from .mds import MDS
 from .node import DCDataNode, DCDirNode
+from .result_cache import ResultCache
 
 
 class DCTree:
@@ -52,6 +54,11 @@ class DCTree:
             self.tracker = StorageTracker(storage_config)
         self._n_records = 0
         self._root = self._new_data_node(MDS.all_mds(self.hierarchies))
+        self._tree_version = 0
+        self._result_cache = (
+            ResultCache(self.config.result_cache_capacity)
+            if self.config.use_result_cache else None
+        )
 
     # ------------------------------------------------------------------
     # basic properties
@@ -64,6 +71,32 @@ class DCTree:
     def root(self):
         """The root node (read-only use, e.g. by the statistics module)."""
         return self._root
+
+    @property
+    def tree_version(self):
+        """Monotone counter bumped by every mutation of the tree.
+
+        The result cache keys memoized answers on it; *every* mutator
+        entry point — :meth:`insert`, :meth:`delete`, bulk loading, and
+        the maintenance paths built on them — must call
+        :meth:`note_mutation` so a stale answer can never be served.
+        """
+        return self._tree_version
+
+    @property
+    def result_cache(self):
+        """The attached :class:`ResultCache` (None when disabled)."""
+        return self._result_cache
+
+    def note_mutation(self):
+        """Bump :attr:`tree_version` (call after any structural change)."""
+        self._tree_version += 1
+
+    def _active_result_cache(self):
+        """The cache, when both the config and the global switch allow it."""
+        if self._result_cache is not None and hotpath.enabled():
+            return self._result_cache
+        return None
 
     def height(self):
         """Number of levels, counting the root as 1."""
@@ -119,6 +152,7 @@ class DCTree:
 
     def insert(self, record):
         """Insert one data record, keeping the index fully up to date."""
+        self.note_mutation()
         # Dynamic hierarchy maintenance (§3.1): assigning/looking up the
         # level-tagged ID of each of the record's attribute values.
         self.tracker.cpu(2 * self.schema.n_flat_attributes)
@@ -460,6 +494,26 @@ class DCTree:
         """
         measure_index = self._measure_index(measure)
         self._check_query_mds(range_mds)
+        cache = self._active_result_cache()
+        if cache is None:
+            return self._range_query_computed(range_mds, op, measure_index)
+        # use_materialized_aggregates changes the traversal (and therefore
+        # the charged trace), so it is part of the memo identity: flipping
+        # the ablation knob mid-life must recompute, not replay.
+        key = ("range", range_mds.cache_key(), op, measure_index,
+               self.config.use_materialized_aggregates)
+        entry = cache.fetch(key, self._tree_version, self.tracker)
+        if entry is not None:
+            return entry.value
+        with self.tracker.trace_accesses() as trace:
+            cpu_before = self.tracker.cpu_units
+            value = self._range_query_computed(range_mds, op, measure_index)
+            cpu_units = self.tracker.cpu_units - cpu_before
+        cache.store(key, self._tree_version, value, trace, cpu_units)
+        return value
+
+    def _range_query_computed(self, range_mds, op, measure_index):
+        """The actual Fig. 7 traversal behind :meth:`range_query`."""
         if op in ("min", "max") and self.config.use_materialized_aggregates:
             return self._range_extremum(range_mds, op, measure_index)
         aggregator = StreamingAggregator(op, measure_index)
@@ -705,6 +759,40 @@ class DCTree:
             range_mds = MDS.all_mds(self.hierarchies)
         else:
             self._check_query_mds(range_mds)
+        cache = self._active_result_cache()
+        if cache is None:
+            return self._group_by_computed(
+                dim_index, level, op, measure_index, range_mds
+            )
+        key = (
+            "groupby", dim_index, level, op, measure_index,
+            range_mds.cache_key(),
+            self.config.use_materialized_aggregates,
+        )
+        entry = cache.fetch(key, self._tree_version, self.tracker)
+        if entry is not None:
+            # Hand out copies: callers merge groups onwards (e.g. by
+            # label) and must not mutate the memoized aggregators.
+            return {
+                value: aggregator.copy()
+                for value, aggregator in entry.value.items()
+            }
+        with self.tracker.trace_accesses() as trace:
+            cpu_before = self.tracker.cpu_units
+            groups = self._group_by_computed(
+                dim_index, level, op, measure_index, range_mds
+            )
+            cpu_units = self.tracker.cpu_units - cpu_before
+        cache.store(
+            key, self._tree_version,
+            {value: aggregator.copy() for value, aggregator in groups.items()},
+            trace, cpu_units,
+        )
+        return groups
+
+    def _group_by_computed(self, dim_index, level, op, measure_index,
+                           range_mds):
+        """The actual one-pass roll-up behind :meth:`group_by_aggregators`."""
         groups = {}
         self._group_node(
             self._root, dim_index, level, op, measure_index, range_mds,
@@ -768,6 +856,7 @@ class DCTree:
         the R-tree), shrunk supernodes give blocks back, and a root
         directory left with a single child is collapsed.
         """
+        self.note_mutation()
         orphans = []
         if not self._delete_from(self._root, record, orphans):
             raise RecordNotFoundError("record not found: %r" % (record,))

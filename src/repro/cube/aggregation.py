@@ -197,6 +197,16 @@ class StreamingAggregator:
         self._op = op
         self._measure_index = measure_index
 
+    def copy(self):
+        """Independent clone (exact — summaries copy field by field).
+
+        The result cache hands out aggregator copies so callers can keep
+        merging groups without poisoning the memoized originals.
+        """
+        clone = StreamingAggregator(self._op, self._measure_index)
+        clone._summary = self._summary.copy()
+        return clone
+
     def add_record(self, record):
         self._summary.add_value(record.measures[self._measure_index])
 

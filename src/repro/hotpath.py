@@ -2,13 +2,15 @@
 
 The acceleration layer — O(1) flattened ancestor tables in
 :class:`~repro.cube.hierarchy.ConceptHierarchy`, versioned adaptation
-memos in :class:`~repro.core.mds.MDS`, and the fused
-:func:`~repro.core.mds.classify` entry test — is semantically invisible:
-every operation returns identical results with it on or off.  This module
-holds the single process-wide switch the ablation benchmarks flip to
-price it (``python -m repro.bench regression``); the per-tree
-``DCTreeConfig.use_hot_path_caches`` flag additionally selects the fused
-vs. legacy entry classification inside one tree.
+memos in :class:`~repro.core.mds.MDS`, the fused
+:func:`~repro.core.mds.classify` entry test, and the versioned
+query-result cache of :mod:`repro.core.result_cache` — is semantically
+invisible: every operation returns identical results (and charges
+identical tracker counters) with it on or off.  This module holds the
+single process-wide switch the ablation benchmarks flip to price it
+(``python -m repro.bench regression``); the per-tree
+``DCTreeConfig.use_hot_path_caches`` / ``use_result_cache`` flags
+additionally select the code paths inside one tree.
 
 The switch is read on every hot operation, so flipping it mid-run is safe:
 memoized state is keyed by version and simply goes cold, never stale.

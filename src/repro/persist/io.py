@@ -168,6 +168,9 @@ def _dc_config_to_dict(config):
         "split_algorithm": config.split_algorithm,
         "use_materialized_aggregates": config.use_materialized_aggregates,
         "capacity_mode": config.capacity_mode,
+        "use_hot_path_caches": config.use_hot_path_caches,
+        "use_result_cache": config.use_result_cache,
+        "result_cache_capacity": config.result_cache_capacity,
     }
 
 
@@ -187,6 +190,8 @@ def _dc_tree_from_dict(data, schema, config=None):
     tree = DCTree(schema, config=config)
     tree._root = _dc_node_from_dict(data["root"], tree)
     tree._n_records = tree._root.aggregate.count
+    # Root swap = mutation: keep the result cache's version discipline.
+    tree.note_mutation()
     return tree
 
 

@@ -8,7 +8,10 @@ simulated elapsed time through :class:`~repro.config.CostModel`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from ..config import CostModel, StorageConfig
+from ..errors import StorageError
 from .buffer import BufferPool
 
 
@@ -64,6 +67,7 @@ class StorageTracker:
         self.page_writes = 0
         self.cpu_units = 0
         self._next_page_id = 0
+        self._access_log = None
 
     # -- page lifecycle -------------------------------------------------
 
@@ -82,6 +86,8 @@ class StorageTracker:
     def access_node(self, page_id, n_blocks=1):
         """Record one visit of a node occupying ``n_blocks`` pages."""
         self.node_accesses += 1
+        if self._access_log is not None:
+            self._access_log.append((page_id, n_blocks))
         self.buffer.access_run(page_id, n_blocks)
 
     def write_node(self, page_id, n_pages=1):
@@ -99,6 +105,40 @@ class StorageTracker:
     def cpu(self, units):
         """Record ``units`` of CPU work (attribute-value set operations)."""
         self.cpu_units += units
+
+    # -- access tracing (result-cache support) ---------------------------
+
+    @contextmanager
+    def trace_accesses(self):
+        """Record every ``access_node`` call in the body as a trace.
+
+        Yields the live list of ``(page_id, n_blocks)`` pairs in call
+        order.  The result cache stores the trace of a query's first
+        computation and :meth:`replay`\\ s it on every hit, so the buffer
+        pool evolves exactly as if the traversal had run.  Tracing is not
+        reentrant — cached operations never nest.
+        """
+        if self._access_log is not None:
+            raise StorageError("access tracing is not reentrant")
+        log = []
+        self._access_log = log
+        try:
+            yield log
+        finally:
+            self._access_log = None
+
+    def replay(self, trace, cpu_units):
+        """Re-charge a recorded access trace plus its CPU units.
+
+        This is the cache-hit charging policy (see docs/cost_model.md):
+        a memoized answer is charged exactly what recomputing it would
+        cost, page by page, so deterministic counters and buffer-pool
+        state are identical with the result cache on or off.
+        """
+        for page_id, n_blocks in trace:
+            self.access_node(page_id, n_blocks)
+        if cpu_units:
+            self.cpu(cpu_units)
 
     # -- reading ----------------------------------------------------------
 

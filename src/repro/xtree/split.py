@@ -11,7 +11,6 @@ supernode.
 
 from __future__ import annotations
 
-from .mbr import MBR
 
 
 class XSplitPlan:

@@ -1,6 +1,5 @@
 """Tests for branch-and-bound range-MAX/MIN (reference [6] style)."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import DCTree, DCTreeConfig, TPCDGenerator, make_tpcd_schema
+from repro import DCTree, DCTreeConfig, TPCDGenerator
 from repro.core.mds import MDS
 from repro.core.stats import collect_stats
 from repro.errors import QueryError, RecordNotFoundError, TreeError

@@ -1,6 +1,5 @@
 """Tests for range summaries and directory-based cardinality estimation."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for per-level tree statistics (Fig. 13 support)."""
 
-import pytest
 
 from repro import DCTree, DCTreeConfig, TPCDGenerator, XTree, make_tpcd_schema
 from repro.core.stats import LevelStats, TreeStats, collect_stats
