@@ -29,7 +29,11 @@ from .core.stats import collect_stats
 from .core.tree import DCTree
 from .maintenance.batch import BatchWarehouse
 from .maintenance.partitioned import PartitionedWarehouse
+from .persist.durable import DurableWarehouse
 from .persist.io import load_warehouse, save_warehouse
+from .persist.recovery import RecoveryReport, recover_warehouse
+from .persist.wal import WriteAheadLog
+from .storage.faults import FaultInjector, FaultPlan, InjectedFault
 from .cube.record import DataRecord
 from .cube.schema import CubeSchema, Dimension, Measure
 from .errors import (
@@ -62,8 +66,12 @@ __all__ = [
     "DCTreeConfig",
     "DataRecord",
     "Dimension",
+    "DurableWarehouse",
+    "FaultInjector",
+    "FaultPlan",
     "FlatTable",
     "HierarchyError",
+    "InjectedFault",
     "MDS",
     "MdsError",
     "Measure",
@@ -71,6 +79,7 @@ __all__ = [
     "QueryGenerator",
     "RangeQuery",
     "RecordNotFoundError",
+    "RecoveryReport",
     "ReproError",
     "SchemaError",
     "StorageConfig",
@@ -78,6 +87,7 @@ __all__ = [
     "TPCDGenerator",
     "TreeError",
     "Warehouse",
+    "WriteAheadLog",
     "XTree",
     "XTreeConfig",
     "bulk_load",
@@ -86,6 +96,7 @@ __all__ = [
     "load_warehouse",
     "make_tpcd_schema",
     "query_from_labels",
+    "recover_warehouse",
     "save_warehouse",
     "__version__",
 ]

@@ -36,13 +36,17 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import random
 import sys
+import tempfile
 import time
 
 from .. import hotpath
 from ..config import DCTreeConfig
 from ..core.tree import DCTree
+from ..persist.durable import WalSink
+from ..persist.wal import WriteAheadLog
 from ..tpcd.generator import TPCDGenerator
 from ..tpcd.schema import make_tpcd_schema
 from ..workload.queries import QueryGenerator
@@ -258,6 +262,60 @@ def _ratio(numerator, denominator):
     return (numerator / denominator) if denominator > 0 else 0.0
 
 
+def _counter_key(stats):
+    return (stats.node_accesses, stats.buffer_hits, stats.buffer_misses,
+            stats.page_writes, stats.cpu_units)
+
+
+def measure_wal_overhead(n_records, seed=0, fsync_interval=64):
+    """Price the durability layer: insert pass with vs. without a WAL.
+
+    Runs the same fixed-seed insert stream into two fresh trees — one
+    bare, one with a :class:`WalSink` logging every insert to a real
+    temp-dir WAL — and reports the wall-clock overhead ratio plus the
+    log size.  The deterministic tracker counters of both passes must be
+    bit-identical (``counters_identical``): the WAL does real file I/O
+    but never touches the simulated cost model, and this measurement is
+    the bench-level proof.
+    """
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=seed, scale_records=n_records)
+    records = generator.generate(n_records)
+
+    def insert_pass(wal):
+        tree = DCTree(schema, config=DCTreeConfig(
+            wal_fsync_interval=fsync_interval,
+        ))
+        if wal is not None:
+            tree.set_mutation_sink(WalSink(wal, schema))
+        start = time.perf_counter()
+        for record in records:
+            tree.insert(record)
+        wall = time.perf_counter() - start
+        return wall, _counter_key(tree.tracker.snapshot())
+
+    plain_wall, plain_counters = insert_pass(None)
+    with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+        wal = WriteAheadLog(os.path.join(tmp, "wal.log"),
+                            fsync_interval=fsync_interval)
+        try:
+            logged_wall, logged_counters = insert_pass(wal)
+            wal.sync()
+            wal_bytes = os.path.getsize(wal.path)
+        finally:
+            wal.close()
+    return {
+        "records": n_records,
+        "seed": seed,
+        "fsync_interval": fsync_interval,
+        "plain_wall_seconds": plain_wall,
+        "wal_wall_seconds": logged_wall,
+        "overhead_ratio": _ratio(logged_wall, plain_wall),
+        "wal_bytes": wal_bytes,
+        "counters_identical": plain_counters == logged_counters,
+    }
+
+
 def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
     """Regressions of ``current`` vs ``baseline``; returns a problem list.
 
@@ -361,6 +419,14 @@ def main(argv=None):
     parser.add_argument("--min-repeat-speedup", type=float, default=None,
                         help="fail when the repeated-query (result-cache) "
                              "wall speedup drops below this factor")
+    parser.add_argument("--max-wal-overhead", type=float, default=None,
+                        metavar="RATIO",
+                        help="also measure the WAL insert-path overhead "
+                             "and fail when wal/plain wall exceeds RATIO "
+                             "(or when counters differ with the WAL on)")
+    parser.add_argument("--wal-fsync-interval", type=int, default=64,
+                        help="fsync batching for the WAL-overhead "
+                             "measurement (default 64)")
     parser.add_argument("--output", default="BENCH_core.json",
                         help="benchmark file to compare against and update")
     parser.add_argument("--no-write", action="store_true",
@@ -403,6 +469,30 @@ def main(argv=None):
             failed = True
             print("REGRESSION: repeated-query speedup %.2fx below required "
                   "%.2fx" % (achieved, args.min_repeat_speedup))
+    if args.max_wal_overhead is not None:
+        durability = measure_wal_overhead(
+            PROFILES[profile]["records"], seed=args.seed,
+            fsync_interval=args.wal_fsync_interval,
+        )
+        entry["durability"] = durability
+        print(
+            "wal overhead: %.2fx wall (plain %.3fs, logged %.3fs, "
+            "%d bytes logged, fsync every %d), counters identical: %s"
+            % (durability["overhead_ratio"],
+               durability["plain_wall_seconds"],
+               durability["wal_wall_seconds"], durability["wal_bytes"],
+               durability["fsync_interval"],
+               durability["counters_identical"])
+        )
+        if not durability["counters_identical"]:
+            failed = True
+            print("REGRESSION: WAL perturbed the deterministic counters "
+                  "(the durability layer must be invisible to the cost "
+                  "model)")
+        if durability["overhead_ratio"] > args.max_wal_overhead:
+            failed = True
+            print("REGRESSION: WAL wall overhead %.2fx above allowed %.2fx"
+                  % (durability["overhead_ratio"], args.max_wal_overhead))
 
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:

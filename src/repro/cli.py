@@ -8,7 +8,13 @@ query      run one aggregate query against a saved warehouse
 groupby    run one roll-up report against a saved warehouse
 sql        run a SQL-ish query (SELECT agg(measure) WHERE ... GROUP BY ...)
 inspect    print schema, size and tree statistics of a saved warehouse
+recover    replay checkpoint + WAL after a crash and report what survived
 bench      shortcut for ``python -m repro.bench ...``
+
+Read commands accept either a plain warehouse ``.json`` file or a
+durable session *directory* (``checkpoint.json`` + ``wal.log``); the
+latter is recovered — checkpoint, WAL replay, validation — before the
+command runs.
 
 The CLI is a thin veneer over the public API — every command body reads
 like the quickstart so it doubles as living documentation.
@@ -17,13 +23,16 @@ like the quickstart so it doubles as living documentation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.bulkload import bulk_load
 from .core.debug import describe_result_cache
 from .core.stats import collect_stats
-from .errors import ReproError
+from .errors import ReproError, StorageError
+from .persist.durable import DurableWarehouse
 from .persist.io import load_warehouse, save_warehouse
+from .persist.recovery import recover_warehouse
 from .query.sql import execute as execute_sql
 from .tpcd.flatfile import read_flatfile, write_flatfile
 from .tpcd.generator import TPCDGenerator
@@ -115,6 +124,25 @@ def _build_parser():
     )
     sql.set_defaults(handler=_cmd_sql)
 
+    recover = commands.add_parser(
+        "recover",
+        help="replay checkpoint + WAL after a crash and report what "
+             "survived",
+    )
+    recover.add_argument(
+        "warehouse",
+        help="durable session directory, or a checkpoint .json path",
+    )
+    recover.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="WAL path (default: wal.log next to the checkpoint)",
+    )
+    recover.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="save the recovered warehouse as a fresh checkpoint here",
+    )
+    recover.set_defaults(handler=_cmd_recover)
+
     bench = commands.add_parser(
         "bench",
         help="regenerate the paper's experiments "
@@ -167,15 +195,36 @@ def _parse_where(clauses):
     return where
 
 
+def _open_warehouse(path):
+    """Open a warehouse for reading: plain ``.json`` file or durable
+    session directory.  Returns ``(warehouse, report_or_None)``."""
+    if os.path.isdir(path):
+        warehouse, report = recover_warehouse(
+            DurableWarehouse.checkpoint_path(path),
+            DurableWarehouse.wal_path(path),
+        )
+        if warehouse is None:
+            raise StorageError(
+                "cannot recover %s: %s" % (path, report.checkpoint_error)
+            )
+        if not report.validated:
+            raise StorageError(
+                "recovered warehouse failed validation: %s"
+                % report.validation_error
+            )
+        return warehouse, report
+    return load_warehouse(path), None
+
+
 def _cmd_query(args):
-    warehouse = load_warehouse(args.warehouse)
+    warehouse, _ = _open_warehouse(args.warehouse)
     result = warehouse.query(args.op, where=_parse_where(args.where))
     print(result)
     return 0
 
 
 def _cmd_groupby(args):
-    warehouse = load_warehouse(args.warehouse)
+    warehouse, _ = _open_warehouse(args.warehouse)
     dim, _, level = args.by.partition(".")
     if not (dim and level):
         raise SystemExit("bad group-by %r (expected DIM.LEVEL)" % args.by)
@@ -188,7 +237,7 @@ def _cmd_groupby(args):
 
 
 def _cmd_sql(args):
-    warehouse = load_warehouse(args.warehouse)
+    warehouse, _ = _open_warehouse(args.warehouse)
     result = execute_sql(warehouse, args.query)
     if isinstance(result, dict):
         for label in sorted(result):
@@ -204,8 +253,34 @@ def _cmd_bench(args):
     return bench_main(args.bench_args or ["all", "--quick"])
 
 
+def _cmd_recover(args):
+    path = args.warehouse
+    if os.path.isdir(path):
+        checkpoint = DurableWarehouse.checkpoint_path(path)
+        wal = args.wal or DurableWarehouse.wal_path(path)
+    else:
+        checkpoint = path
+        wal = args.wal or os.path.join(
+            os.path.dirname(path) or ".", DurableWarehouse.WAL_NAME
+        )
+        if not os.path.exists(wal):
+            wal = None
+    warehouse, report = recover_warehouse(checkpoint, wal)
+    print(report.describe())
+    if warehouse is None or not report.ok:
+        return 1
+    if args.output:
+        save_warehouse(
+            warehouse, args.output, extra_meta={"wal_lsn": report.last_lsn}
+        )
+        print("saved recovered warehouse to %s" % args.output)
+    return 0
+
+
 def _cmd_inspect(args):
-    warehouse = load_warehouse(args.warehouse)
+    warehouse, report = _open_warehouse(args.warehouse)
+    if report is not None:
+        print(report.describe())
     print("backend:  %s" % warehouse.backend)
     print("records:  %d" % len(warehouse))
     print("size:     %.1f KiB" % (warehouse.byte_size() / 1024))

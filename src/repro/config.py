@@ -56,6 +56,12 @@ class DCTreeConfig:
         global ``repro.hotpath`` ablation switch.
     result_cache_capacity:
         Maximum number of memoized answers held per tree (LRU-bounded).
+    wal_fsync_interval:
+        Fsync batching of an attached write-ahead log (see
+        :mod:`repro.persist.wal`): 1 syncs every append (strongest
+        durability, the default), N syncs every Nth append, 0 leaves
+        syncing to the OS.  Irrelevant until a durability sink is
+        attached to the tree.
     capacity_mode:
         ``"entries"`` (default) bounds nodes by entry count —
         predictable and what the comparison experiments use.
@@ -78,6 +84,7 @@ class DCTreeConfig:
         use_hot_path_caches=True,
         use_result_cache=True,
         result_cache_capacity=128,
+        wal_fsync_interval=1,
     ):
         if dir_capacity < 4:
             raise SchemaError("dir_capacity must be at least 4")
@@ -99,6 +106,10 @@ class DCTreeConfig:
             )
         if result_cache_capacity < 1:
             raise SchemaError("result_cache_capacity must be at least 1")
+        if not isinstance(wal_fsync_interval, int) or wal_fsync_interval < 0:
+            raise SchemaError(
+                "wal_fsync_interval must be a non-negative integer"
+            )
         self.dir_capacity = dir_capacity
         self.leaf_capacity = leaf_capacity
         self.min_fanout_fraction = min_fanout_fraction
@@ -109,6 +120,7 @@ class DCTreeConfig:
         self.use_hot_path_caches = bool(use_hot_path_caches)
         self.use_result_cache = bool(use_result_cache)
         self.result_cache_capacity = result_cache_capacity
+        self.wal_fsync_interval = wal_fsync_interval
 
     def min_dir_fanout(self):
         """Smallest acceptable group size when splitting a directory node."""

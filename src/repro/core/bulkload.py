@@ -40,11 +40,10 @@ def bulk_load(schema, records, config=None, tracker=None,
     loader = _BulkLoader(tree)
     top_levels = [h.top_level for h in tree.hierarchies]
     root = loader.build(records, top_levels)
-    tree._root = root
-    tree._n_records = len(records)
-    # The root swap is a mutation like any other: bump the tree version so
-    # the result cache can never serve an answer from before the load.
-    tree.note_mutation()
+    # The root swap is a mutation like any other: adopt_root bumps the
+    # tree version (so the result cache can never serve an answer from
+    # before the load) and notifies any attached durability sink.
+    tree.adopt_root(root, len(records))
     return tree
 
 

@@ -55,6 +55,7 @@ class DCTree:
         self._n_records = 0
         self._root = self._new_data_node(MDS.all_mds(self.hierarchies))
         self._tree_version = 0
+        self._mutation_sink = None
         self._result_cache = (
             ResultCache(self.config.result_cache_capacity)
             if self.config.use_result_cache else None
@@ -91,6 +92,38 @@ class DCTree:
     def note_mutation(self):
         """Bump :attr:`tree_version` (call after any structural change)."""
         self._tree_version += 1
+
+    @property
+    def mutation_sink(self):
+        """The attached durability sink (None when the tree is volatile)."""
+        return self._mutation_sink
+
+    def set_mutation_sink(self, sink):
+        """Attach a durability sink; pass ``None`` to detach.
+
+        The sink rides next to the :attr:`tree_version` bump: every
+        *acknowledged* mutator notifies it before returning —
+        ``record_insert(record)`` / ``record_delete(record)`` after the
+        in-memory apply succeeds, ``record_rebase(n_records)`` on a
+        wholesale root swap (:meth:`adopt_root`).  A write-ahead log
+        (see :class:`repro.persist.durable.DurableWarehouse`) is the
+        intended sink; anything with those three methods works.
+        """
+        self._mutation_sink = sink
+
+    def adopt_root(self, root, n_records):
+        """Install a new root wholesale (bulk load, deserialization).
+
+        Bumps the version like any mutation and notifies the durability
+        sink with a *rebase*: a record-level log cannot replay a root
+        swap, so the sink must checkpoint (the WAL marks the spot and
+        recovery refuses to replay past it without that checkpoint).
+        """
+        self._root = root
+        self._n_records = n_records
+        self.note_mutation()
+        if self._mutation_sink is not None:
+            self._mutation_sink.record_rebase(n_records)
 
     def _active_result_cache(self):
         """The cache, when both the config and the global switch allow it."""
@@ -151,7 +184,14 @@ class DCTree:
     # ------------------------------------------------------------------
 
     def insert(self, record):
-        """Insert one data record, keeping the index fully up to date."""
+        """Insert one data record, keeping the index fully up to date.
+
+        When a durability sink is attached, the mutation is logged after
+        the in-memory apply and before this method returns — returning
+        IS the acknowledgement, so an acknowledged insert is always
+        recoverable and a crash mid-insert loses only the unacknowledged
+        one.
+        """
         self.note_mutation()
         # Dynamic hierarchy maintenance (§3.1): assigning/looking up the
         # level-tagged ID of each of the record's attribute values.
@@ -160,6 +200,8 @@ class DCTree:
         if split_result is not None:
             self._grow_root(split_result)
         self._n_records += 1
+        if self._mutation_sink is not None:
+            self._mutation_sink.record_insert(record)
 
     def _insert_into(self, node, record):
         """Recursive insert; returns a (left, right) pair on split."""
@@ -864,6 +906,8 @@ class DCTree:
         self._collapse_root()
         for orphan in orphans:
             self._reinsert(orphan)
+        if self._mutation_sink is not None:
+            self._mutation_sink.record_delete(record)
 
     def _collapse_root(self):
         root = self._root

@@ -1,16 +1,28 @@
-"""Warehouse persistence: structure-preserving save/load for all backends."""
+"""Warehouse persistence: structure-preserving save/load for all backends,
+plus the crash-safe durability layer (WAL, atomic checkpoints, recovery)."""
 
+from .durable import DurableWarehouse, WalSink
 from .format import FORMAT_VERSION
 from .io import (
     load_warehouse,
+    read_warehouse_file,
     save_warehouse,
     warehouse_from_dict,
     warehouse_to_dict,
 )
+from .recovery import RecoveryReport, recover_warehouse
+from .wal import WriteAheadLog, read_wal
 
 __all__ = [
+    "DurableWarehouse",
     "FORMAT_VERSION",
+    "RecoveryReport",
+    "WalSink",
+    "WriteAheadLog",
     "load_warehouse",
+    "read_warehouse_file",
+    "read_wal",
+    "recover_warehouse",
     "save_warehouse",
     "warehouse_from_dict",
     "warehouse_to_dict",

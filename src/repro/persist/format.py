@@ -14,11 +14,25 @@ materialized aggregates without re-running any split, so a load is a
 plain O(n) deserialization (and the loaded tree is bit-for-bit query-
 equivalent to the saved one — a property the test suite checks).
 
+A fifth, optional section protects the other four:
+
+* ``checksums``   — per-section CRC32 over the canonical JSON encoding
+                    (sorted keys, no whitespace) of ``meta``, ``schema``,
+                    ``hierarchies`` and ``index``
+
+``save_warehouse`` always writes it; ``load_warehouse`` verifies it when
+present, so truncation and bit-rot inside a section are caught *before*
+deserialization instead of surfacing as an inconsistent tree later.
+Files from before the durability layer lack the section and still load.
+
 JSON keeps the format dependency-free and debuggable; IDs are plain
 integers (the level tag lives inside the integer, §3.1).
 """
 
 from __future__ import annotations
+
+import json
+import zlib
 
 #: Current format version; bumped on breaking changes.
 FORMAT_VERSION = 1
@@ -26,6 +40,9 @@ FORMAT_VERSION = 1
 #: Node-type tags inside the index section.
 DATA_NODE = "data"
 DIR_NODE = "dir"
+
+#: Sections covered by the ``checksums`` section.
+CHECKSUMMED_SECTIONS = ("meta", "schema", "hierarchies", "index")
 
 
 def check_version(meta):
@@ -38,3 +55,48 @@ def check_version(meta):
             "unsupported warehouse file version %r (this build reads %d)"
             % (version, FORMAT_VERSION)
         )
+
+
+def section_crc(section):
+    """CRC32 of one section's canonical JSON encoding."""
+    canonical = json.dumps(section, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def compute_checksums(data):
+    """The ``checksums`` section for a warehouse document.
+
+    Call *after* the document is final (the meta section in particular —
+    durable sessions stamp their WAL position into it first).
+    """
+    return {
+        section: section_crc(data[section])
+        for section in CHECKSUMMED_SECTIONS
+        if section in data
+    }
+
+
+def verify_checksums(data, path=None):
+    """Raise ``StorageError`` when a stored section checksum mismatches.
+
+    Documents without a ``checksums`` section pass (pre-durability
+    files); documents with one must match it exactly.
+    """
+    from ..errors import StorageError
+
+    stored = data.get("checksums")
+    if stored is None:
+        return
+    where = " in %s" % path if path is not None else ""
+    for section, expected in stored.items():
+        if section not in data:
+            raise StorageError(
+                "checksummed section %r is missing%s" % (section, where)
+            )
+        actual = section_crc(data[section])
+        if actual != expected:
+            raise StorageError(
+                "checksum mismatch in section %r%s: stored %d, actual %d "
+                "(truncated or bit-rotted file)"
+                % (section, where, expected, actual)
+            )

@@ -1,10 +1,16 @@
 """Saving and loading warehouses (all three backends).
 
-``save_warehouse`` writes a single JSON file; ``load_warehouse`` restores
-a query-equivalent warehouse from it.  For the tree backends the exact
-structure is preserved — nodes, MDSs/MBRs, supernode block counts,
-split histories and materialized aggregates — so loading never re-splits
-and costs O(n) deserialization.
+``save_warehouse`` writes a single JSON file *atomically*: the document
+goes to a same-directory temp file, is fsynced, and replaces the target
+with ``os.replace`` — a crash at any point leaves either the complete
+old file or the complete new one, never a torn mixture.  Per-section
+CRCs (see :mod:`repro.persist.format`) are embedded on save and verified
+on load, so truncation and bit-rot are reported as a clean
+:class:`~repro.errors.StorageError` instead of a deep deserialization
+traceback.  ``load_warehouse`` restores a query-equivalent warehouse;
+for the tree backends the exact structure is preserved — nodes,
+MDSs/MBRs, supernode block counts, split histories and materialized
+aggregates — so loading never re-splits and costs O(n) deserialization.
 
 The dict-level functions (``warehouse_to_dict`` / ``warehouse_from_dict``)
 are exposed for tests and for callers who want a different transport.
@@ -14,6 +20,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 
 from ..config import DCTreeConfig, XTreeConfig
 from ..core.mds import MDS
@@ -22,10 +29,11 @@ from ..core.tree import DCTree
 from ..cube.aggregation import AggregateVector
 from ..cube.record import DataRecord
 from ..cube.schema import CubeSchema, Dimension, Measure
-from ..errors import StorageError
+from ..errors import ReproError, StorageError
 from ..scan.table import FlatTable
 from ..warehouse import Warehouse
 from ..xtree.mbr import MBR
+from ..storage import faults as faults_mod
 from ..xtree.node import XDataNode, XDirNode
 from ..xtree.tree import XTree
 from . import format as fmt
@@ -85,6 +93,34 @@ def _record_from_list(data):
     return DataRecord(
         tuple(tuple(path) for path in paths), tuple(measures)
     )
+
+
+#: Public names for the checkpoint's record codec (raw ID paths — valid
+#: only together with the hierarchy state saved alongside them).
+record_to_list = _record_to_list
+record_from_list = _record_from_list
+
+
+def record_to_labels(schema, record):
+    """Schema-independent record encoding: label paths plus measures.
+
+    This is the WAL codec.  Hierarchy IDs are interned on first use, so
+    a record inserted *after* a checkpoint carries IDs the checkpointed
+    hierarchy has never seen; logging labels instead lets replay
+    re-intern them through :meth:`~repro.cube.schema.CubeSchema.record`
+    exactly like the original insert did.
+    """
+    paths = [
+        [dim.hierarchy.label(value) for value in path]
+        for dim, path in zip(schema.dimensions, record.paths)
+    ]
+    return [paths, list(record.measures)]
+
+
+def record_from_labels(schema, data):
+    """Rebuild a WAL-logged record against ``schema`` (interns labels)."""
+    paths, measures = data
+    return schema.record(tuple(tuple(path) for path in paths), measures)
 
 
 def _aggregate_to_list(aggregate):
@@ -171,6 +207,7 @@ def _dc_config_to_dict(config):
         "use_hot_path_caches": config.use_hot_path_caches,
         "use_result_cache": config.use_result_cache,
         "result_cache_capacity": config.result_cache_capacity,
+        "wal_fsync_interval": config.wal_fsync_interval,
     }
 
 
@@ -188,10 +225,10 @@ def _dc_tree_from_dict(data, schema, config=None):
         # overfull at the default 16).
         config = DCTreeConfig(**data["config"])
     tree = DCTree(schema, config=config)
-    tree._root = _dc_node_from_dict(data["root"], tree)
-    tree._n_records = tree._root.aggregate.count
-    # Root swap = mutation: keep the result cache's version discipline.
-    tree.note_mutation()
+    root = _dc_node_from_dict(data["root"], tree)
+    # Root swap = mutation: adopt_root keeps the result cache's version
+    # discipline and notifies any attached durability sink.
+    tree.adopt_root(root, root.aggregate.count)
     return tree
 
 
@@ -327,10 +364,95 @@ def warehouse_from_dict(data, config=None):
     return warehouse
 
 
-def save_warehouse(warehouse, path):
-    """Write the warehouse to ``path`` (JSON)."""
-    with open(path, "w") as handle:
-        json.dump(warehouse_to_dict(warehouse), handle)
+#: Checkpoint bytes are written in chunks so fault injection can tear a
+#: save at page-like granularity, as a real crash would.
+_SAVE_CHUNK_BYTES = 1 << 16
+
+
+def _fsync_directory(dirpath):
+    """Best-effort directory fsync so a rename itself is durable."""
+    try:
+        fd = os.open(dirpath or ".", os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds — nothing more we can do
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_warehouse(warehouse, path, extra_meta=None, faults=None):
+    """Write the warehouse to ``path`` (JSON), atomically.
+
+    The document — with ``extra_meta`` merged into its meta section and
+    per-section CRCs embedded — is written to ``path + ".tmp"``, flushed
+    and fsynced, then moved over ``path`` with ``os.replace``.  A crash
+    at any point leaves the previous file intact; a leftover ``.tmp`` is
+    overwritten by the next save.  ``faults`` optionally routes every
+    write/fsync/rename through a fault injector (crash testing).
+    """
+    path = os.fspath(path)
+    data = warehouse_to_dict(warehouse)
+    if extra_meta:
+        data["meta"].update(extra_meta)
+    data["checksums"] = fmt.compute_checksums(data)
+    payload = json.dumps(data).encode("utf-8")
+    tmp_path = path + ".tmp"
+    handle = open(tmp_path, "wb")
+    try:
+        for start in range(0, len(payload), _SAVE_CHUNK_BYTES):
+            faults_mod.write_through(
+                faults, handle, "checkpoint.write",
+                payload[start:start + _SAVE_CHUNK_BYTES],
+            )
+        handle.flush()
+        faults_mod.op_through(faults, "checkpoint.fsync")
+        os.fsync(handle.fileno())
+    finally:
+        handle.close()
+    faults_mod.op_through(faults, "checkpoint.replace")
+    os.replace(tmp_path, path)
+    _fsync_directory(os.path.dirname(path))
+
+
+def read_warehouse_file(path, faults=None):
+    """Read and integrity-check a warehouse file; returns the raw dict.
+
+    Raises :class:`StorageError` — naming the path and byte offset —
+    on unreadable, truncated or checksum-failing files, *before* any
+    deserialization is attempted.  Recovery uses this to decide whether
+    a checkpoint is trustworthy.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = faults_mod.read_through(faults, handle, "checkpoint.read")
+    except OSError as error:
+        raise StorageError(
+            "cannot read warehouse file %s: %s" % (path, error)
+        )
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except UnicodeDecodeError as error:
+        raise StorageError(
+            "corrupt warehouse file %s: undecodable UTF-8 at byte %d of %d"
+            % (path, error.start, len(raw))
+        )
+    except json.JSONDecodeError as error:
+        raise StorageError(
+            "corrupt warehouse file %s: %s at byte %d of %d on disk "
+            "(truncated or torn write?)" % (path, error.msg, error.pos,
+                                            len(raw))
+        )
+    if not isinstance(data, dict):
+        raise StorageError(
+            "corrupt warehouse file %s: top level is %s, not an object"
+            % (path, type(data).__name__)
+        )
+    fmt.verify_checksums(data, path)
+    return data
 
 
 def load_warehouse(path, config=None):
@@ -339,7 +461,19 @@ def load_warehouse(path, config=None):
     ``config`` optionally overrides the tree configuration of the loaded
     index (capacities must be compatible with the stored structure: a
     loaded node may exceed a smaller capacity until its next split).
+
+    Every failure mode — missing file, truncation, bit-rot, missing or
+    malformed fields — surfaces as a :class:`StorageError` naming the
+    file, so callers (the CLI in particular) never see a raw
+    ``JSONDecodeError``/``KeyError`` traceback.
     """
-    with open(path) as handle:
-        data = json.load(handle)
-    return warehouse_from_dict(data, config=config)
+    data = read_warehouse_file(path)
+    try:
+        return warehouse_from_dict(data, config=config)
+    except ReproError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise StorageError(
+            "malformed warehouse file %s: %s: %s"
+            % (path, type(error).__name__, error)
+        )

@@ -1,0 +1,222 @@
+"""Write-ahead log for acknowledged warehouse mutations.
+
+The checkpoint file makes a warehouse durable *up to the last save*; the
+WAL makes every acknowledged ``insert``/``delete`` since then durable as
+well.  The DC-tree's mutation sink (see
+:meth:`~repro.core.tree.DCTree.set_mutation_sink`) appends one record
+per acknowledged mutation; recovery replays the log on top of the last
+good checkpoint.
+
+On-disk format
+--------------
+
+::
+
+    file   := header record*
+    header := b"DCWAL01\\n"                      (8 bytes)
+    record := length(u32 BE) crc32(u32 BE) payload
+    payload:= UTF-8 JSON  [lsn, op, data]
+
+``lsn`` is a monotone log sequence number (checkpoints remember the last
+LSN they contain, so replay skips records a newer checkpoint already
+covers).  ``op`` is ``"insert"``, ``"delete"`` or ``"rebase"`` (a root
+swap — bulk load — that a record-level log cannot replay; recovery stops
+there and demands the checkpoint that the rebase triggered).
+
+Each record is length-prefixed and CRC-checksummed, so a torn tail —
+the expected residue of a crash mid-append — is detected and cleanly
+discarded: replay stops at the first record whose length or checksum
+does not hold.  The file is opened unbuffered; an append either reaches
+the OS entirely or (under fault injection) leaves exactly the torn
+prefix a real crash would.
+
+``fsync`` batching is configurable (``DCTreeConfig.wal_fsync_interval``):
+1 syncs every append (strongest durability), N syncs every Nth append,
+0 leaves syncing to the OS (fastest, loses at most the OS write-back
+window on power failure — process death alone loses nothing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+from ..errors import StorageError
+from ..storage import faults as faults_mod
+
+#: File magic; 8 bytes so records start aligned.
+WAL_HEADER = b"DCWAL01\n"
+
+#: Per-record prefix: payload length + CRC32, both big-endian u32.
+_PREFIX = struct.Struct(">II")
+
+#: Operations a WAL record may carry.
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+OP_REBASE = "rebase"
+
+
+def encode_record(lsn, op, data):
+    """One record's bytes: length + CRC32 prefix, JSON payload."""
+    payload = json.dumps([lsn, op, data]).encode("utf-8")
+    return _PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """Append-only, checksummed mutation log on one file.
+
+    Parameters
+    ----------
+    path:
+        Log file; created (with header) when missing or empty.
+    fsync_interval:
+        Sync every Nth append; 0 disables explicit syncing.
+    start_lsn:
+        LSN of the last already-durable record (recovery hands the log
+        back after replay so numbering continues seamlessly).
+    faults:
+        Optional :class:`~repro.storage.faults.FaultInjector` through
+        which every write/fsync/truncate is routed.
+    """
+
+    def __init__(self, path, fsync_interval=1, start_lsn=0, faults=None):
+        if fsync_interval < 0:
+            raise StorageError("fsync_interval must be >= 0")
+        self.path = os.fspath(path)
+        self.fsync_interval = fsync_interval
+        self.faults = faults
+        self._lsn = start_lsn
+        self._since_sync = 0
+        self._handle = open(self.path, "ab", buffering=0)
+        if self._handle.tell() == 0:
+            faults_mod.write_through(
+                faults, self._handle, "wal.header", WAL_HEADER
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def last_lsn(self):
+        """LSN of the most recently appended (or replayed) record."""
+        return self._lsn
+
+    def append(self, op, data):
+        """Append one mutation record; returns its LSN.
+
+        The record is on its way to the OS when this returns (and
+        fsynced per the batching policy) — appending *before* the caller
+        acknowledges the mutation is what makes the mutation durable.
+        """
+        lsn = self._lsn + 1
+        record = encode_record(lsn, op, data)
+        faults_mod.write_through(self.faults, self._handle, "wal.append",
+                                 record)
+        self._lsn = lsn
+        self._since_sync += 1
+        if self.fsync_interval and self._since_sync >= self.fsync_interval:
+            self.sync()
+        return lsn
+
+    def sync(self):
+        """Force appended records to stable storage."""
+        faults_mod.op_through(self.faults, "wal.fsync")
+        os.fsync(self._handle.fileno())
+        self._since_sync = 0
+
+    def truncate(self):
+        """Drop every record (header stays) — called after a checkpoint.
+
+        A crash *before* the truncate leaves stale records behind; their
+        LSNs are at most the new checkpoint's, so replay skips them.
+        """
+        faults_mod.op_through(self.faults, "wal.truncate")
+        self._handle.truncate(len(WAL_HEADER))
+        self._since_sync = 0
+
+    def close(self):
+        if self._handle is not None:
+            if self.fsync_interval and self._since_sync:
+                self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class WalScan:
+    """Result of :func:`read_wal`: the readable records plus diagnostics."""
+
+    __slots__ = ("records", "torn_tail", "error", "bytes_scanned")
+
+    def __init__(self, records, torn_tail, error, bytes_scanned):
+        self.records = records
+        self.torn_tail = torn_tail
+        self.error = error
+        self.bytes_scanned = bytes_scanned
+
+
+def read_wal(path, faults=None):
+    """Scan a WAL file; returns a :class:`WalScan`.
+
+    Stops at the first incomplete or checksum-failing record (torn tail
+    after a crash, or bit-rot) — everything before it is trustworthy,
+    nothing after it is reachable.  A missing file scans as empty: a
+    checkpoint with no log simply has nothing to replay.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = faults_mod.read_through(faults, handle, "wal.read")
+    except FileNotFoundError:
+        return WalScan([], False, None, 0)
+    except OSError as error:
+        raise StorageError("cannot read WAL %s: %s" % (path, error))
+    if not raw:
+        return WalScan([], False, None, 0)
+    if raw[:len(WAL_HEADER)] != WAL_HEADER:
+        raise StorageError(
+            "%s is not a WAL file (bad header %r)" % (path, raw[:8])
+        )
+    records = []
+    offset = len(WAL_HEADER)
+    total = len(raw)
+    while offset < total:
+        if offset + _PREFIX.size > total:
+            return WalScan(
+                records, True,
+                "torn record prefix at byte %d of %d" % (offset, total),
+                offset,
+            )
+        length, crc = _PREFIX.unpack_from(raw, offset)
+        start = offset + _PREFIX.size
+        end = start + length
+        if end > total:
+            return WalScan(
+                records, True,
+                "torn record payload at byte %d of %d (wanted %d bytes)"
+                % (start, total, length),
+                offset,
+            )
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            return WalScan(
+                records, True,
+                "checksum mismatch at byte %d of %d" % (offset, total),
+                offset,
+            )
+        try:
+            lsn, op, data = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            return WalScan(
+                records, True,
+                "unreadable payload at byte %d: %s" % (offset, error),
+                offset,
+            )
+        records.append((lsn, op, data))
+        offset = end
+    return WalScan(records, False, None, offset)

@@ -6,6 +6,7 @@ footprints) a disk-resident deployment would exhibit.
 """
 
 from .buffer import BufferPool
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .page import (
     ID_BYTES,
     LEVEL_BYTES,
@@ -26,7 +27,10 @@ from .tracker import AccessStats, StorageTracker
 __all__ = [
     "AccessStats",
     "BufferPool",
+    "FaultInjector",
+    "FaultPlan",
     "ID_BYTES",
+    "InjectedFault",
     "LEVEL_BYTES",
     "MEASURE_BYTES",
     "NODE_HEADER_BYTES",

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the durability layer.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  This module lets tests *schedule* a failure at an exact I/O
+operation: a :class:`FaultPlan` names the Nth operation (optionally
+restricted to one subsystem) and the failure mode, a
+:class:`FaultInjector` counts operations as the WAL, the checkpoint
+writer and the :class:`~repro.storage.tracker.StorageTracker` report
+them, and fires the planned fault when the count is reached.
+
+Failure modes
+-------------
+
+``crash``
+    The operation never happens; :class:`InjectedFault` is raised.
+    Simulates process death immediately before the syscall.
+``torn``
+    Only a prefix of the data is written, then :class:`InjectedFault`
+    is raised.  Simulates a torn (partial) write during process death
+    or power loss.  On non-write operations it degrades to ``crash``.
+``short_read``
+    A read returns only a prefix of the requested data and execution
+    *continues* — the caller sees a truncated file, as after recovering
+    a torn tail.  On non-read operations it degrades to ``crash``.
+
+The injector is deterministic by construction: the same plan against
+the same workload fires at the same operation, so every crash site can
+be enumerated (run once with a plan-less injector, read :attr:`trace`,
+then replay the workload once per recorded operation).
+
+:class:`InjectedFault` deliberately does **not** derive from
+:class:`~repro.errors.ReproError`: library code that converts or
+swallows ``ReproError`` must never accidentally "handle" a simulated
+crash — it has to unwind all the way out to the test harness, exactly
+like process death would.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class InjectedFault(Exception):
+    """A scheduled fault fired — treat as simulated process death.
+
+    Not a ``ReproError`` on purpose; see the module docstring.
+    """
+
+    def __init__(self, site, op_index, mode):
+        super().__init__(
+            "injected %s fault at I/O op %d (site %s)"
+            % (mode, op_index, site)
+        )
+        self.site = site
+        self.op_index = op_index
+        self.mode = mode
+
+
+class FaultPlan:
+    """One scheduled fault: fail at the Nth matching I/O operation.
+
+    Parameters
+    ----------
+    fail_at:
+        1-based index of the matching operation that faults.
+    mode:
+        ``"crash"``, ``"torn"`` or ``"short_read"`` (see module docs).
+    site:
+        Optional site-name prefix (e.g. ``"wal"`` or
+        ``"checkpoint.write"``); only operations whose site starts with
+        it count towards ``fail_at``.  ``None`` counts everything.
+    torn_fraction:
+        Fraction of the payload a torn write persists (at least one
+        byte so the tear is observable).
+    """
+
+    MODES = ("crash", "torn", "short_read")
+
+    def __init__(self, fail_at, mode="crash", site=None, torn_fraction=0.5):
+        if fail_at < 1:
+            raise ValueError("fail_at is 1-based and must be >= 1")
+        if mode not in self.MODES:
+            raise ValueError(
+                "mode must be one of %s, got %r" % (", ".join(self.MODES), mode)
+            )
+        if not 0.0 < torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in (0, 1)")
+        self.fail_at = fail_at
+        self.mode = mode
+        self.site = site
+        self.torn_fraction = torn_fraction
+
+    @classmethod
+    def seeded(cls, seed, n_ops, site=None):
+        """A reproducible pseudo-random plan over ``n_ops`` operations.
+
+        The same seed always yields the same (fail_at, mode) pair —
+        property tests draw seeds, failures replay from the seed alone.
+        """
+        rng = random.Random(seed)
+        return cls(
+            fail_at=rng.randint(1, max(1, n_ops)),
+            mode=rng.choice(("crash", "torn")),
+            site=site,
+        )
+
+    def __repr__(self):
+        return "FaultPlan(fail_at=%d, mode=%r, site=%r)" % (
+            self.fail_at, self.mode, self.site,
+        )
+
+
+class FaultInjector:
+    """Counts I/O operations and fires the plan's fault when reached.
+
+    With ``plan=None`` the injector only records the operation stream in
+    :attr:`trace` — the enumeration pass of a crash matrix.  Every entry
+    is a ``(site, kind)`` pair with ``kind`` one of ``"op"``, ``"write"``
+    or ``"read"``; its index + 1 is the ``fail_at`` that targets it.
+    """
+
+    def __init__(self, plan=None):
+        self.plan = plan
+        self.trace = []
+        self.matched = 0
+        self.fired = False
+
+    # ------------------------------------------------------------------
+
+    def _armed(self, site):
+        plan = self.plan
+        if plan is None or self.fired:
+            return False
+        if plan.site is not None and not site.startswith(plan.site):
+            return False
+        self.matched += 1
+        return self.matched == plan.fail_at
+
+    def _fire(self, site):
+        self.fired = True
+        raise InjectedFault(site, self.matched, self.plan.mode)
+
+    # ------------------------------------------------------------------
+    # the three operation kinds
+    # ------------------------------------------------------------------
+
+    def op(self, site):
+        """A non-data operation (fsync, rename, tracker event)."""
+        self.trace.append((site, "op"))
+        if self._armed(site):
+            self._fire(site)
+
+    def write(self, handle, site, data):
+        """Write ``data`` to ``handle``; a torn fault persists a prefix."""
+        self.trace.append((site, "write"))
+        if self._armed(site):
+            if self.plan.mode == "torn":
+                prefix = data[:max(1, int(len(data) * self.plan.torn_fraction))]
+                handle.write(prefix)
+                handle.flush()
+            self._fire(site)
+        handle.write(data)
+
+    def read(self, handle, site, size=-1):
+        """Read from ``handle``; a short-read fault truncates the result."""
+        self.trace.append((site, "read"))
+        data = handle.read(size)
+        if self._armed(site):
+            if self.plan.mode == "short_read":
+                self.fired = True
+                return data[:len(data) // 2]
+            self._fire(site)
+        return data
+
+
+def write_through(faults, handle, site, data):
+    """Write via the injector when one is attached, directly otherwise."""
+    if faults is not None:
+        faults.write(handle, site, data)
+    else:
+        handle.write(data)
+
+
+def read_through(faults, handle, site, size=-1):
+    """Read via the injector when one is attached, directly otherwise."""
+    if faults is not None:
+        return faults.read(handle, site, size)
+    return handle.read(size)
+
+
+def op_through(faults, site):
+    """Report a non-data operation when an injector is attached."""
+    if faults is not None:
+        faults.op(site)

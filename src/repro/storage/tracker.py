@@ -59,7 +59,7 @@ class AccessStats:
 class StorageTracker:
     """Counts node accesses and CPU units behind an LRU buffer pool."""
 
-    def __init__(self, storage_config=None):
+    def __init__(self, storage_config=None, faults=None):
         config = storage_config if storage_config is not None else StorageConfig()
         self.config = config
         self.buffer = BufferPool(config.buffer_pages)
@@ -68,6 +68,10 @@ class StorageTracker:
         self.cpu_units = 0
         self._next_page_id = 0
         self._access_log = None
+        # Optional FaultInjector (see repro.storage.faults): when set,
+        # every node access/write counts as an injectable I/O site, so
+        # crash tests can kill an insert between any two page touches.
+        self.faults = faults
 
     # -- page lifecycle -------------------------------------------------
 
@@ -85,6 +89,8 @@ class StorageTracker:
 
     def access_node(self, page_id, n_blocks=1):
         """Record one visit of a node occupying ``n_blocks`` pages."""
+        if self.faults is not None:
+            self.faults.op("tracker.access")
         self.node_accesses += 1
         if self._access_log is not None:
             self._access_log.append((page_id, n_blocks))
@@ -100,6 +106,8 @@ class StorageTracker:
         node before updating it, so the read side is already accounted;
         this only counts the write-back.
         """
+        if self.faults is not None:
+            self.faults.op("tracker.write")
         self.page_writes += n_pages
 
     def cpu(self, units):

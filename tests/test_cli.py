@@ -126,3 +126,66 @@ class TestSql:
         code = main(["sql", str(loaded_warehouse), "SELEC SUM(x)"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestDurability:
+    def _durable_dir(self, tmp_path):
+        import os
+
+        from repro import DurableWarehouse, Warehouse
+        from tests.conftest import TOY_ROWS, build_toy_schema, toy_record
+
+        directory = str(tmp_path / "session")
+        schema = build_toy_schema()
+        session = DurableWarehouse.create(
+            directory, Warehouse(schema, "dc-tree")
+        )
+        for row in TOY_ROWS:
+            session.insert_record(toy_record(schema, *row))
+        # Simulated crash: never close, never checkpoint.
+        session.wal._handle.close()
+        session.wal._handle = None
+        return directory
+
+    def test_missing_warehouse_friendly_error(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "absent.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "absent.json" in err
+
+    def test_corrupt_warehouse_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{ definitely not json")
+        code = main(["query", str(path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_recover_reports_and_exits_zero(self, tmp_path, capsys):
+        directory = self._durable_dir(tmp_path)
+        assert main(["recover", directory]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: OK" in out
+        assert "7 insert(s)" in out
+
+    def test_recover_output_checkpoint(self, tmp_path, capsys):
+        directory = self._durable_dir(tmp_path)
+        output = str(tmp_path / "recovered.json")
+        assert main(["recover", directory, "--output", output]) == 0
+        capsys.readouterr()
+        assert main(["query", output, "--op", "count"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_recover_missing_dir_exits_one(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "ghost")]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_query_accepts_durable_directory(self, tmp_path, capsys):
+        directory = self._durable_dir(tmp_path)
+        assert main(["query", directory, "--op", "count"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_inspect_prints_recovery_report(self, tmp_path, capsys):
+        directory = self._durable_dir(tmp_path)
+        assert main(["inspect", directory]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: OK" in out and "backend:  dc-tree" in out

@@ -215,3 +215,64 @@ class TestConfigPersistence:
         del data["index"]["config"]
         restored = warehouse_from_dict(data)
         assert len(restored) == len(warehouse)
+
+
+class TestDurableSave:
+    def test_checksums_section_written(self, tmp_path):
+        path = str(tmp_path / "wh.json")
+        save_warehouse(build_warehouse("dc-tree"), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert set(data["checksums"]) == {"meta", "schema", "hierarchies",
+                                          "index"}
+
+    def test_atomic_save_keeps_original_on_crash(self, tmp_path):
+        from repro.storage.faults import FaultInjector, FaultPlan, InjectedFault
+
+        path = str(tmp_path / "wh.json")
+        original = build_warehouse("dc-tree")
+        save_warehouse(original, path)
+        bigger = build_warehouse("dc-tree")
+        bigger.insert((("IT", "Rome"), ("red",)), (1.0,))
+        for mode, site in (("crash", "checkpoint.write"),
+                           ("torn", "checkpoint.write"),
+                           ("crash", "checkpoint.fsync"),
+                           ("crash", "checkpoint.replace")):
+            injector = FaultInjector(FaultPlan(fail_at=1, mode=mode, site=site))
+            with pytest.raises(InjectedFault):
+                save_warehouse(bigger, path, faults=injector)
+            # The visible file is still the complete original save.
+            assert len(load_warehouse(path)) == len(original)
+
+    def test_truncated_file_reports_path_and_offset(self, tmp_path):
+        path = str(tmp_path / "wh.json")
+        save_warehouse(build_warehouse("dc-tree"), path)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[:len(raw) // 2])
+        with pytest.raises(StorageError) as excinfo:
+            load_warehouse(path)
+        message = str(excinfo.value)
+        assert path in message and "byte" in message
+
+    def test_missing_file_is_storage_error(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_warehouse(str(tmp_path / "nope.json"))
+
+    def test_bit_rot_detected_by_section_checksum(self, tmp_path):
+        path = str(tmp_path / "wh.json")
+        save_warehouse(build_warehouse("dc-tree"), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["index"]["n_records"] = 424242
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        with pytest.raises(StorageError, match="checksum"):
+            load_warehouse(path)
+
+    def test_malformed_document_wrapped(self, tmp_path):
+        path = str(tmp_path / "wh.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]")
+        with pytest.raises(StorageError):
+            load_warehouse(path)

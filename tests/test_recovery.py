@@ -1,0 +1,360 @@
+"""Crash matrix and recovery tests for the durability layer.
+
+The core suite enumerates every fault-injection site a scripted
+workload touches (WAL appends and fsyncs, checkpoint writes and
+replaces, tracker page events) and simulates process death at each one,
+then asserts the recovered warehouse holds exactly the acknowledged
+mutations — never fewer, and at most the single in-flight one more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.conftest import TOY_ROWS, build_toy_schema, toy_record
+from repro import (
+    DCTreeConfig,
+    DurableWarehouse,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    StorageError,
+    Warehouse,
+    recover_warehouse,
+)
+from repro.core.bulkload import bulk_load
+from repro.persist.io import load_warehouse, record_to_labels, save_warehouse
+from repro.workload.queries import query_from_labels
+
+_CONFIG = dict(leaf_capacity=4, dir_capacity=4)
+
+
+def _toy_warehouse():
+    return Warehouse(build_toy_schema(), "dc-tree",
+                     config=DCTreeConfig(**_CONFIG))
+
+
+def _key(schema, record):
+    return json.dumps(record_to_labels(schema, record), sort_keys=True)
+
+
+def _snapshot(warehouse):
+    """Multiset of (labels, measures) keys of every stored record."""
+    query = query_from_labels(warehouse.schema, {})
+    return Counter(
+        _key(warehouse.schema, record)
+        for record in warehouse.records_matching(query)
+    )
+
+
+def _attach(session, injector):
+    """Arm an injector on a session *after* create() — the matrix covers
+    steady-state operation, not construction."""
+    session.faults = injector
+    session.wal.faults = injector
+    session.warehouse.index.tracker.faults = injector
+
+
+def _drop_dead(session):
+    """Simulated process death: release the WAL handle without syncing
+    or detaching anything."""
+    wal = session.wal
+    if wal is not None and wal._handle is not None:
+        wal._handle.close()
+        wal._handle = None
+
+
+def _workload_steps(records):
+    return [
+        ("insert", records[0]), ("insert", records[1]),
+        ("insert", records[2]), ("insert", records[3]),
+        ("checkpoint", None),
+        ("insert", records[4]), ("insert", records[5]),
+        ("delete", records[1]),
+        ("insert", records[6]),
+        ("checkpoint", None),
+        ("delete", records[4]),
+    ]
+
+
+def _apply_expected(schema, state, step):
+    kind, record = step
+    if kind == "insert":
+        state[_key(schema, record)] += 1
+    elif kind == "delete":
+        state[_key(schema, record)] -= 1
+    return +state  # drop zero entries
+
+
+def _run_workload(directory, plan):
+    """One scripted run under ``plan``; returns what recovery must honor.
+
+    Returns ``(committed, maybe, fault, injector)`` — the acknowledged
+    state, the state if the in-flight step also survives, and the fault
+    that fired (None on a clean run).
+    """
+    warehouse = _toy_warehouse()
+    schema = warehouse.schema
+    records = [toy_record(schema, *row) for row in TOY_ROWS]
+    session = DurableWarehouse.create(directory, warehouse)
+    injector = FaultInjector(plan)
+    _attach(session, injector)
+    state = Counter()
+    maybe = Counter()
+    fault = None
+    try:
+        for step in _workload_steps(records):
+            maybe = _apply_expected(schema, Counter(state), step)
+            kind, record = step
+            if kind == "insert":
+                session.insert_record(record)
+            elif kind == "delete":
+                session.delete(record)
+            else:
+                session.checkpoint()
+            state = Counter(maybe)
+        session.close()
+    except InjectedFault as exc:
+        fault = exc
+        _drop_dead(session)
+    return state, maybe, fault, injector
+
+
+def _recovered_snapshot(directory):
+    warehouse, report = recover_warehouse(
+        DurableWarehouse.checkpoint_path(directory),
+        DurableWarehouse.wal_path(directory),
+    )
+    assert warehouse is not None, report.checkpoint_error
+    assert report.ok, (report.validation_error, report.checkpoint_error)
+    return _snapshot(warehouse), report
+
+
+def test_crash_matrix_no_acknowledged_mutation_lost(tmp_path):
+    """Kill the workload at every I/O operation it performs; recovery
+    must always yield committed ⊆ recovered ⊆ committed + in-flight."""
+    probe_dir = os.path.join(str(tmp_path), "probe")
+    state, _, fault, tracer = _run_workload(probe_dir, plan=None)
+    assert fault is None
+    trace = tracer.trace
+    assert trace, "fault tracer saw no I/O operations"
+    clean_snapshot, _ = _recovered_snapshot(probe_dir)
+    assert clean_snapshot == state
+
+    matrix = []
+    for index, (site, kind) in enumerate(trace, start=1):
+        matrix.append((index, site, "crash"))
+        if kind == "write":
+            matrix.append((index, site, "torn"))
+
+    for fail_at, site, mode in matrix:
+        directory = os.path.join(
+            str(tmp_path), "run-%d-%s" % (fail_at, mode)
+        )
+        committed, maybe, fault, _ = _run_workload(
+            directory, FaultPlan(fail_at=fail_at, mode=mode)
+        )
+        assert fault is not None, (
+            "plan (%d, %s) at site %s never fired" % (fail_at, mode, site)
+        )
+        recovered, report = _recovered_snapshot(directory)
+        assert recovered in (committed, maybe), (
+            "fault at op %d (%s, %s): recovered %r, acknowledged %r, "
+            "with in-flight %r"
+            % (fail_at, site, mode, dict(recovered), dict(committed),
+               dict(maybe))
+        )
+        # Reopening the directory must also work and self-compact.
+        session = DurableWarehouse.open(directory)
+        try:
+            assert _snapshot(session.warehouse) == recovered
+            assert session.report.ok
+        finally:
+            session.close()
+
+
+def test_clean_shutdown_reopens_identically(tmp_path):
+    directory = str(tmp_path / "clean")
+    state, _, fault, _ = _run_workload(directory, plan=None)
+    assert fault is None
+    session = DurableWarehouse.open(directory)
+    try:
+        assert _snapshot(session.warehouse) == state
+        assert session.report.ok
+        assert not session.report.torn_tail
+    finally:
+        session.close()
+
+
+def test_recovered_session_keeps_logging(tmp_path):
+    directory = str(tmp_path / "resume")
+    _run_workload(directory, plan=None)
+    session = DurableWarehouse.open(directory)
+    country, city, color, sales = ("IT", "Rome", "red", 9.0)
+    session.insert(((country, city), (color,)), (sales,))
+    before = _snapshot(session.warehouse)
+    _drop_dead(session)  # crash right after the acknowledged insert
+    recovered, report = _recovered_snapshot(directory)
+    assert recovered == before
+    assert report.applied_inserts == 1
+
+
+def test_unreadable_checkpoint_reports_not_raises(tmp_path):
+    directory = str(tmp_path / "corrupt")
+    _run_workload(directory, plan=None)
+    with open(DurableWarehouse.checkpoint_path(directory), "w") as handle:
+        handle.write("{ not json")
+    warehouse, report = recover_warehouse(
+        DurableWarehouse.checkpoint_path(directory),
+        DurableWarehouse.wal_path(directory),
+    )
+    assert warehouse is None
+    assert not report.ok
+    assert report.checkpoint_error
+    with pytest.raises(StorageError):
+        DurableWarehouse.open(directory)
+
+
+def test_checkpoint_bit_rot_detected(tmp_path):
+    directory = str(tmp_path / "bitrot")
+    _run_workload(directory, plan=None)
+    path = DurableWarehouse.checkpoint_path(directory)
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    data["index"]["n_records"] = 9999  # silent in-place corruption
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    warehouse, report = recover_warehouse(path)
+    assert warehouse is None
+    assert "checksum" in report.checkpoint_error
+
+
+def test_replay_stops_at_uncheckpointed_rebase(tmp_path):
+    """A rebase marker whose checkpoint never landed ends replay: the
+    bulk load was never acknowledged, the pre-load state was."""
+    directory = str(tmp_path / "rebase")
+    warehouse = _toy_warehouse()
+    schema = warehouse.schema
+    records = [toy_record(schema, *row) for row in TOY_ROWS]
+    session = DurableWarehouse.create(directory, warehouse)
+    for record in records[:3]:
+        session.insert_record(record)
+    committed = _snapshot(session.warehouse)
+    # Crash inside the checkpoint the rebase marker triggers.
+    injector = FaultInjector(FaultPlan(fail_at=1, site="checkpoint.write"))
+    _attach(session, injector)
+    loaded = bulk_load(schema, records, config=warehouse.index.config)
+    with pytest.raises(InjectedFault):
+        warehouse.index.adopt_root(loaded._root, len(records))
+    _drop_dead(session)
+    recovered, report = _recovered_snapshot(directory)
+    assert report.stopped_at_rebase
+    assert recovered == committed
+
+
+def test_checkpointed_rebase_survives(tmp_path):
+    directory = str(tmp_path / "rebase-ok")
+    warehouse = _toy_warehouse()
+    schema = warehouse.schema
+    records = [toy_record(schema, *row) for row in TOY_ROWS]
+    session = DurableWarehouse.create(directory, warehouse)
+    loaded = bulk_load(schema, records, config=warehouse.index.config)
+    warehouse.index.adopt_root(loaded._root, len(records))
+    _drop_dead(session)
+    recovered, report = _recovered_snapshot(directory)
+    assert not report.stopped_at_rebase
+    assert sum(recovered.values()) == len(TOY_ROWS)
+
+
+def test_delete_replay(tmp_path):
+    directory = str(tmp_path / "deletes")
+    warehouse = _toy_warehouse()
+    schema = warehouse.schema
+    records = [toy_record(schema, *row) for row in TOY_ROWS]
+    session = DurableWarehouse.create(directory, warehouse)
+    for record in records[:4]:
+        session.insert_record(record)
+    session.delete(records[0])
+    _drop_dead(session)
+    recovered, report = _recovered_snapshot(directory)
+    assert report.applied_inserts == 4
+    assert report.applied_deletes == 1
+    assert sum(recovered.values()) == 3
+
+
+def test_short_read_of_checkpoint_is_graceful(tmp_path):
+    directory = str(tmp_path / "shortread")
+    _run_workload(directory, plan=None)
+    injector = FaultInjector(
+        FaultPlan(fail_at=1, mode="short_read", site="checkpoint.read")
+    )
+    warehouse, report = recover_warehouse(
+        DurableWarehouse.checkpoint_path(directory),
+        DurableWarehouse.wal_path(directory),
+        faults=injector,
+    )
+    assert warehouse is None
+    assert report.checkpoint_error
+
+
+def test_wal_is_invisible_to_the_cost_model(tmp_path):
+    """Identical insert streams with and without a durable session must
+    leave bit-identical tracker counters (WAL I/O is real, not simulated)."""
+    def run(directory):
+        warehouse = _toy_warehouse()
+        schema = warehouse.schema
+        if directory is not None:
+            session = DurableWarehouse.create(directory, warehouse)
+        for row in TOY_ROWS:
+            warehouse.insert_record(toy_record(schema, *row))
+        if directory is not None:
+            session.close()
+        stats = warehouse.tracker.snapshot()
+        return (stats.node_accesses, stats.buffer_hits, stats.buffer_misses,
+                stats.page_writes, stats.cpu_units)
+
+    assert run(None) == run(str(tmp_path / "walled"))
+
+
+# ----------------------------------------------------------------------
+# save/load round-trip property over all three backends
+# ----------------------------------------------------------------------
+
+_LABELS = st.sampled_from(["DE", "FR", "US", "JP"])
+_CITIES = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])
+_COLORS = st.sampled_from(["red", "green", "blue"])
+_SALES = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+_ROWS = st.lists(st.tuples(_LABELS, _CITIES, _COLORS, _SALES),
+                 min_size=0, max_size=12)
+
+
+@given(rows=_ROWS, backend=st.sampled_from(["dc-tree", "x-tree", "scan"]))
+def test_save_load_roundtrip_property(rows, backend, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("roundtrip")
+    path = str(tmp / "warehouse.json")
+    schema = build_toy_schema()
+    warehouse = Warehouse(schema, backend)
+    for country, city, color, sales in rows:
+        warehouse.insert(((country, city), (color,)), (sales,))
+    save_warehouse(warehouse, path)
+    loaded = load_warehouse(path)
+
+    assert loaded.backend == backend
+    assert len(loaded) == len(warehouse)
+    assert _snapshot(loaded) == _snapshot(warehouse)
+    assert loaded.query("sum") == pytest.approx(warehouse.query("sum"))
+
+    if backend == "dc-tree":
+        version = loaded.index.tree_version
+        before = loaded.query("sum")
+        loaded.insert((("IT", "Rome"), ("red",)), (5.0,))
+        # tree_version is monotone across save/load and mutation, and the
+        # versioned result cache must not serve the pre-insert answer.
+        assert loaded.index.tree_version > version
+        assert loaded.query("sum") == pytest.approx(before + 5.0)
