@@ -45,6 +45,7 @@ import time
 from .. import hotpath
 from ..config import DCTreeConfig
 from ..core.tree import DCTree
+from ..obs.metrics import observe_dctree
 from ..persist.durable import WalSink
 from ..persist.wal import WriteAheadLog
 from ..tpcd.generator import TPCDGenerator
@@ -135,18 +136,28 @@ def _repeat_workload(queries, battery, n_repeats, seed):
     return rng.choices(pool, weights=weights, k=n_repeats)
 
 
-def run_workload(use_caches, n_records, n_queries, n_repeats=0, seed=0):
-    """One full benchmark pass; returns (mode-report dict, results digest).
+def run_workload(use_caches, n_records, n_queries, n_repeats=0, seed=0,
+                 observability=False):
+    """One full benchmark pass; returns (mode-report dict, results digest,
+    metrics snapshot).
 
     The schema/generator are rebuilt per pass with the same seed, so both
     modes index the identical record stream and answer the identical
     queries — any result difference is a cache-correctness bug.
+
+    ``observability`` runs the pass with the telemetry layer attached
+    (spans + metrics registry); the returned snapshot is the registry
+    contents after the workload (``None`` otherwise).  The flag is passed
+    through to :class:`DCTreeConfig` explicitly in both directions, so
+    the comparison passes stay deterministic even when
+    ``REPRO_OBSERVABILITY`` is set in the environment.
     """
     schema = make_tpcd_schema()
     generator = TPCDGenerator(schema, seed=seed, scale_records=n_records)
     records = generator.generate(n_records)
     tree = DCTree(schema, config=DCTreeConfig(
         use_hot_path_caches=use_caches, use_result_cache=use_caches,
+        observability=observability,
     ))
 
     report = {}
@@ -199,17 +210,41 @@ def run_workload(use_caches, n_records, n_queries, n_repeats=0, seed=0):
         report[phase]["wall_seconds"]
         for phase in ("insert", "query", "groupby", "repeat")
     )
-    return report, digest.hexdigest()
+    metrics = None
+    if observability:
+        registry = tree.observability.registry
+        observe_dctree(registry, tree)
+        metrics = registry.snapshot()
+    return report, digest.hexdigest(), metrics
 
 
-def run_benchmark(profile="full", seed=0):
-    """Run both modes of one profile; returns the BENCH entry dict."""
+def _phase_counters(report):
+    """The deterministic counters of one pass, phase by phase."""
+    return {
+        phase: {
+            counter: report[phase][counter]
+            for counter in _CHECKED_COUNTERS
+        }
+        for phase in ("insert", "query", "groupby", "repeat")
+    }
+
+
+def run_benchmark(profile="full", seed=0, emit_metrics=False):
+    """Run both modes of one profile; returns the BENCH entry dict.
+
+    ``emit_metrics`` adds a third, observability-enabled pass of the
+    cached mode and embeds its metrics-registry snapshot under
+    ``entry["observability"]``, together with the invariance verdicts:
+    the observed pass must produce the same result digest and identical
+    deterministic counters as the plain cached pass (telemetry must be
+    invisible to the simulated cost model).
+    """
     params = PROFILES[profile]
-    cached, cached_digest = run_workload(
+    cached, cached_digest, _ = run_workload(
         True, params["records"], params["queries"], params["repeats"], seed
     )
     with hotpath.disabled():
-        uncached, uncached_digest = run_workload(
+        uncached, uncached_digest, _ = run_workload(
             False, params["records"], params["queries"], params["repeats"],
             seed,
         )
@@ -218,6 +253,19 @@ def run_benchmark(profile="full", seed=0):
             "hot-path caches changed query results: %s vs %s"
             % (cached_digest, uncached_digest)
         )
+    observability = None
+    if emit_metrics:
+        observed, observed_digest, metrics = run_workload(
+            True, params["records"], params["queries"], params["repeats"],
+            seed, observability=True,
+        )
+        observability = {
+            "digest_identical": observed_digest == cached_digest,
+            "counters_identical": (
+                _phase_counters(observed) == _phase_counters(cached)
+            ),
+            "metrics": metrics,
+        }
     query_heavy_cached = (
         cached["query"]["wall_seconds"] + cached["groupby"]["wall_seconds"]
     )
@@ -225,7 +273,7 @@ def run_benchmark(profile="full", seed=0):
         uncached["query"]["wall_seconds"]
         + uncached["groupby"]["wall_seconds"]
     )
-    return {
+    entry = {
         "profile": profile,
         "seed": seed,
         "records": params["records"],
@@ -256,6 +304,9 @@ def run_benchmark(profile="full", seed=0):
             ),
         },
     }
+    if observability is not None:
+        entry["observability"] = observability
+    return entry
 
 
 def _ratio(numerator, denominator):
@@ -427,6 +478,11 @@ def main(argv=None):
     parser.add_argument("--wal-fsync-interval", type=int, default=64,
                         help="fsync batching for the WAL-overhead "
                              "measurement (default 64)")
+    parser.add_argument("--emit-metrics", action="store_true",
+                        help="run an extra observability-enabled cached "
+                             "pass, embed its metrics snapshot in the "
+                             "report and fail when tracing perturbs the "
+                             "deterministic counters or results")
     parser.add_argument("--output", default="BENCH_core.json",
                         help="benchmark file to compare against and update")
     parser.add_argument("--no-write", action="store_true",
@@ -437,7 +493,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     profile = "smoke" if args.smoke else "full"
-    entry = run_benchmark(profile=profile, seed=args.seed)
+    entry = run_benchmark(profile=profile, seed=args.seed,
+                          emit_metrics=args.emit_metrics)
     print(_format_summary(entry))
 
     document = load_bench_file(args.output) or {"profiles": {}}
@@ -493,6 +550,29 @@ def main(argv=None):
             failed = True
             print("REGRESSION: WAL wall overhead %.2fx above allowed %.2fx"
                   % (durability["overhead_ratio"], args.max_wal_overhead))
+    if args.emit_metrics:
+        observability = entry["observability"]
+        span_family = observability["metrics"].get(
+            "repro_spans_total", {"samples": []}
+        )
+        spans = sum(
+            sample["value"] for sample in span_family["samples"]
+        )
+        print(
+            "observability: %d span(s) recorded; digest identical: %s, "
+            "deterministic counters identical: %s"
+            % (spans, observability["digest_identical"],
+               observability["counters_identical"])
+        )
+        if not observability["digest_identical"]:
+            failed = True
+            print("REGRESSION: tracing changed the query results (the "
+                  "telemetry layer must be strictly observational)")
+        if not observability["counters_identical"]:
+            failed = True
+            print("REGRESSION: tracing perturbed the deterministic "
+                  "counters (node accesses / page I/Os / CPU units must "
+                  "be bit-identical with observability on)")
 
     if args.report is not None:
         with open(args.report, "w", encoding="utf-8") as handle:

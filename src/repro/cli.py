@@ -7,9 +7,13 @@ load       bulk-load a warehouse from a flat file and save it
 query      run one aggregate query against a saved warehouse
 groupby    run one roll-up report against a saved warehouse
 sql        run a SQL-ish query (SELECT agg(measure) WHERE ... GROUP BY ...)
+explain    profile one query: per-level cost attribution (EXPLAIN)
 inspect    print schema, size and tree statistics of a saved warehouse
 recover    replay checkpoint + WAL after a crash and report what survived
 bench      shortcut for ``python -m repro.bench ...``
+
+``query``/``groupby``/``sql`` also take ``--explain`` to append the same
+profile the ``explain`` command prints.
 
 Read commands accept either a plain warehouse ``.json`` file or a
 durable session *directory* (``checkpoint.json`` + ``wal.log``); the
@@ -92,6 +96,10 @@ def _build_parser():
         "--where", action="append", default=[], metavar="DIM.LEVEL=A,B",
         help="constraint, repeatable (e.g. Customer.Region=EUROPE,ASIA)",
     )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="also print the query's per-level cost profile (dc-tree)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     groupby = commands.add_parser(
@@ -104,6 +112,10 @@ def _build_parser():
                          choices=("sum", "count", "avg", "min", "max"))
     groupby.add_argument(
         "--where", action="append", default=[], metavar="DIM.LEVEL=A,B"
+    )
+    groupby.add_argument(
+        "--explain", action="store_true",
+        help="also print the query's per-level cost profile (dc-tree)",
     )
     groupby.set_defaults(handler=_cmd_groupby)
 
@@ -122,7 +134,36 @@ def _build_parser():
         help="e.g. \"SELECT SUM(ExtendedPrice) WHERE "
              "Customer.Region = 'EUROPE' GROUP BY Time.Year\"",
     )
+    sql.add_argument(
+        "--explain", action="store_true",
+        help="also print the query's per-level cost profile (dc-tree)",
+    )
     sql.set_defaults(handler=_cmd_sql)
+
+    explain = commands.add_parser(
+        "explain",
+        help="profile one query: per-level page/CPU attribution, entry "
+             "classifications, aggregate pruning, cache outcome",
+    )
+    explain.add_argument("warehouse", help="warehouse .json path")
+    explain.add_argument("--op", default="sum",
+                         choices=("sum", "count", "avg", "min", "max"))
+    explain.add_argument(
+        "--where", action="append", default=[], metavar="DIM.LEVEL=A,B"
+    )
+    explain.add_argument(
+        "--by", default=None, metavar="DIM.LEVEL",
+        help="profile a roll-up over this dimension instead",
+    )
+    explain.add_argument(
+        "--sql", default=None, metavar="QUERY",
+        help="profile this SQL-ish query instead of --op/--where/--by",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the profile (and result) as JSON",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     recover = commands.add_parser(
         "recover",
@@ -140,6 +181,10 @@ def _build_parser():
     recover.add_argument(
         "--output", default=None, metavar="PATH",
         help="save the recovered warehouse as a fresh checkpoint here",
+    )
+    recover.add_argument(
+        "--metrics", action="store_true",
+        help="also print the recovery audit as Prometheus text exposition",
     )
     recover.set_defaults(handler=_cmd_recover)
 
@@ -216,10 +261,24 @@ def _open_warehouse(path):
     return load_warehouse(path), None
 
 
+def _print_result(value):
+    if isinstance(value, dict):
+        for label in sorted(value):
+            print("%s\t%g" % (label, value[label]))
+    else:
+        print(value)
+
+
 def _cmd_query(args):
     warehouse, _ = _open_warehouse(args.warehouse)
-    result = warehouse.query(args.op, where=_parse_where(args.where))
-    print(result)
+    result = warehouse.query(args.op, where=_parse_where(args.where),
+                             explain=args.explain)
+    if args.explain:
+        result, profile = result
+        _print_result(result)
+        print(profile.render())
+    else:
+        _print_result(result)
     return 0
 
 
@@ -229,21 +288,59 @@ def _cmd_groupby(args):
     if not (dim and level):
         raise SystemExit("bad group-by %r (expected DIM.LEVEL)" % args.by)
     groups = warehouse.group_by(
-        dim, level, op=args.op, where=_parse_where(args.where)
+        dim, level, op=args.op, where=_parse_where(args.where),
+        explain=args.explain,
     )
-    for label in sorted(groups):
-        print("%s\t%g" % (label, groups[label]))
+    if args.explain:
+        groups, profile = groups
+        _print_result(groups)
+        print(profile.render())
+    else:
+        _print_result(groups)
     return 0
 
 
 def _cmd_sql(args):
     warehouse, _ = _open_warehouse(args.warehouse)
-    result = execute_sql(warehouse, args.query)
-    if isinstance(result, dict):
-        for label in sorted(result):
-            print("%s\t%g" % (label, result[label]))
+    result = execute_sql(warehouse, args.query, explain=args.explain)
+    if args.explain:
+        result, profile = result
+        _print_result(result)
+        print(profile.render())
     else:
-        print(result)
+        _print_result(result)
+    return 0
+
+
+def _cmd_explain(args):
+    warehouse, _ = _open_warehouse(args.warehouse)
+    if args.sql:
+        result = execute_sql(warehouse, args.sql, explain=True)
+    elif args.by:
+        dim, _, level = args.by.partition(".")
+        if not (dim and level):
+            raise SystemExit("bad --by %r (expected DIM.LEVEL)" % args.by)
+        result = warehouse.group_by(
+            dim, level, op=args.op, where=_parse_where(args.where),
+            explain=True,
+        )
+    else:
+        result = warehouse.query(
+            args.op, where=_parse_where(args.where), explain=True
+        )
+    value, profile = result
+    if args.json:
+        import json
+
+        payload = profile.to_dict()
+        payload["result"] = (
+            {str(label): v for label, v in sorted(value.items())}
+            if isinstance(value, dict) else value
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_result(value)
+        print(profile.render())
     return 0
 
 
@@ -267,6 +364,12 @@ def _cmd_recover(args):
             wal = None
     warehouse, report = recover_warehouse(checkpoint, wal)
     print(report.describe())
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report.publish_metrics(registry)
+        print(registry.render_prometheus())
     if warehouse is None or not report.ok:
         return 1
     if args.output:
@@ -309,6 +412,10 @@ def _cmd_inspect(args):
             )
     if warehouse.backend == "dc-tree":
         print(describe_result_cache(warehouse.index))
+    from .obs import warehouse_registry
+
+    print("metrics:")
+    print(warehouse_registry(warehouse).snapshot_json())
     return 0
 
 

@@ -7,6 +7,8 @@ numbers and common X-tree/R*-tree practice where it does not.
 
 from __future__ import annotations
 
+import os
+
 from .errors import SchemaError
 
 
@@ -62,6 +64,17 @@ class DCTreeConfig:
         durability, the default), N syncs every Nth append, 0 leaves
         syncing to the OS.  Irrelevant until a durability sink is
         attached to the tree.
+    observability:
+        When True the tree carries a :class:`repro.obs.Observability`
+        bundle: structured spans around every mutator/query/WAL/recovery
+        operation plus a metrics registry fed from the deterministic
+        counters.  Telemetry is observational only — deterministic
+        counters, query answers and ``tree_version`` are bit-identical
+        with it on or off (enforced by the invariance tests and the
+        ``--emit-metrics`` bench gate).  ``None`` (the default) defers
+        to the ``REPRO_OBSERVABILITY`` environment variable (truthy
+        values: ``1``/``true``/``yes``/``on``), which CI uses to force
+        the whole suite through the instrumented paths.
     capacity_mode:
         ``"entries"`` (default) bounds nodes by entry count —
         predictable and what the comparison experiments use.
@@ -85,6 +98,7 @@ class DCTreeConfig:
         use_result_cache=True,
         result_cache_capacity=128,
         wal_fsync_interval=1,
+        observability=None,
     ):
         if dir_capacity < 4:
             raise SchemaError("dir_capacity must be at least 4")
@@ -121,6 +135,10 @@ class DCTreeConfig:
         self.use_result_cache = bool(use_result_cache)
         self.result_cache_capacity = result_cache_capacity
         self.wal_fsync_interval = wal_fsync_interval
+        if observability is None:
+            env = os.environ.get("REPRO_OBSERVABILITY", "")
+            observability = env.strip().lower() in ("1", "true", "yes", "on")
+        self.observability = bool(observability)
 
     def min_dir_fanout(self):
         """Smallest acceptable group size when splitting a directory node."""

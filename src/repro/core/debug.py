@@ -8,25 +8,8 @@ hierarchies) or MBR.  Handy in tests, notebooks and bug reports.
 
 from __future__ import annotations
 
-
-def describe_result_cache(tree):
-    """One-line result-cache summary of a DC-tree (debug/CLI aid).
-
-    Returns e.g. ``"result-cache: 3 hits / 5 misses (37.5% hit rate), 5
-    entries of 128, 1 eviction(s), 2 invalidation(s)"`` — or a disabled
-    notice for trees without a cache.
-    """
-    cache = getattr(tree, "result_cache", None)
-    if cache is None:
-        return "result-cache: disabled"
-    stats = cache.stats()
-    return (
-        "result-cache: %d hits / %d misses (%.1f%% hit rate), "
-        "%d entries of %d, %d eviction(s), %d invalidation(s)"
-        % (stats.hits, stats.misses, 100.0 * stats.hit_rate,
-           stats.size, stats.capacity, stats.evictions,
-           stats.invalidations)
-    )
+# Moved to the telemetry package; re-exported for backward compatibility.
+from ..obs.metrics import describe_result_cache  # noqa: F401
 
 
 def dump_tree(tree, max_depth=None, max_values=4, stream=None):

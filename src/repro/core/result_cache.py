@@ -165,6 +165,24 @@ class ResultCache:
         tracker.replay(entry.trace, entry.cpu_units)
         return entry
 
+    def peek(self, key, tree_version):
+        """Look up ``key`` with fetch semantics but *without* the replay.
+
+        Counts the hit/miss and refreshes the LRU position exactly like
+        :meth:`fetch`, but leaves the tracker untouched.  The EXPLAIN
+        path uses this: it recomputes the traversal (to profile it) and
+        the recomputation makes the very charges the replay would have —
+        so deterministic counters stay bit-identical with ``fetch``.
+        """
+        self._sync_version(tree_version)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
     def store(self, key, tree_version, value, trace, cpu_units):
         """Memoize one freshly computed answer, evicting LRU overflow."""
         self._sync_version(tree_version)
@@ -177,6 +195,24 @@ class ResultCache:
     def clear(self):
         """Drop every entry without touching the counters."""
         self._entries.clear()
+
+    def publish_metrics(self, registry, prefix="result_cache"):
+        """Export the counters as gauges into a metrics registry."""
+        stats = self.stats()
+        registry.gauge(prefix + "_hits",
+                       "Lookups answered from the cache.").set(stats.hits)
+        registry.gauge(prefix + "_misses",
+                       "Lookups that had to compute.").set(stats.misses)
+        registry.gauge(prefix + "_evictions",
+                       "Entries dropped by the LRU bound.").set(stats.evictions)
+        registry.gauge(prefix + "_invalidations",
+                       "Version-change flush events.").set(stats.invalidations)
+        registry.gauge(prefix + "_size",
+                       "Entries currently memoized.").set(stats.size)
+        registry.gauge(prefix + "_capacity",
+                       "LRU capacity bound.").set(stats.capacity)
+        registry.gauge(prefix + "_hit_rate",
+                       "hits / lookups (0 when idle).").set(stats.hit_rate)
 
     def __repr__(self):
         return "ResultCache(%r)" % (self.stats(),)

@@ -17,10 +17,13 @@ Public operations:
 
 from __future__ import annotations
 
+import time
+
 from .. import hotpath
 from ..config import DCTreeConfig
 from ..cube.aggregation import AggregateVector, StreamingAggregator
 from ..errors import QueryError, RecordNotFoundError, TreeError
+from ..obs import ExplainResult, Observability, ProfileSession, QueryProfile
 from ..storage import page as page_mod
 from ..storage.tracker import StorageTracker
 from . import mds as mds_mod
@@ -60,6 +63,11 @@ class DCTree:
             ResultCache(self.config.result_cache_capacity)
             if self.config.use_result_cache else None
         )
+        # Telemetry is strictly observational: spans and metrics read the
+        # tracker, never charge it, so every deterministic counter is
+        # bit-identical with observability on or off.
+        self._obs = Observability() if self.config.observability else None
+        self._profile = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -88,6 +96,11 @@ class DCTree:
     def result_cache(self):
         """The attached :class:`ResultCache` (None when disabled)."""
         return self._result_cache
+
+    @property
+    def observability(self):
+        """The attached :class:`~repro.obs.Observability` (None when off)."""
+        return self._obs
 
     def note_mutation(self):
         """Bump :attr:`tree_version` (call after any structural change)."""
@@ -192,6 +205,16 @@ class DCTree:
         recoverable and a crash mid-insert loses only the unacknowledged
         one.
         """
+        if self._obs is None:
+            return self._insert_impl(record)
+        with self._obs.span("insert") as span:
+            self._insert_impl(record)
+            span.set(tree_version=self._tree_version,
+                     records=self._n_records)
+        self._obs.counter("dctree_inserts_total",
+                          "Records inserted.").inc()
+
+    def _insert_impl(self, record):
         self.note_mutation()
         # Dynamic hierarchy maintenance (§3.1): assigning/looking up the
         # level-tagged ID of each of the record's attribute values.
@@ -236,6 +259,17 @@ class DCTree:
         (dimension, level) pair is resolved once per insert, not once per
         child — siblings overwhelmingly share relevant levels.
         """
+        if self._obs is None:
+            return self._choose_subtree_impl(node, record)
+        with self._obs.span(
+            "choose_subtree", node=node.page_id,
+            fanout=len(node.children),
+        ) as span:
+            child, position = self._choose_subtree_impl(node, record)
+            span.set(child=child.page_id, position=position)
+            return child, position
+
+    def _choose_subtree_impl(self, node, record):
         best = None
         best_key = None
         best_position = 0
@@ -326,6 +360,31 @@ class DCTree:
         Returns a (left, right) node pair on success, None when the node
         became (or stays) a supernode.
         """
+        if self._obs is None:
+            return self._split_or_grow_impl(node)
+        kind = "leaf" if node.is_leaf else "dir"
+        with self._obs.span(
+            "hierarchy_split", node=node.page_id, kind=kind,
+            entries=node.entry_count, mds=node.mds.digest()[:12],
+        ) as span:
+            pair = self._split_or_grow_impl(node)
+            if pair is None:
+                span.set(outcome="supernode", n_blocks=node.n_blocks)
+                self._obs.counter(
+                    "dctree_supernode_growths_total",
+                    "Overfull nodes that grew a block instead of splitting.",
+                    kind=kind,
+                ).inc()
+            else:
+                span.set(outcome="split",
+                         sizes=[n.entry_count for n in pair])
+                self._obs.counter(
+                    "dctree_splits_total", "Successful node splits.",
+                    kind=kind,
+                ).inc()
+            return pair
+
+    def _split_or_grow_impl(self, node):
         if node.is_leaf:
             adapt = self._make_record_adapter(node.records)
             n_entries = len(node.records)
@@ -523,7 +582,7 @@ class DCTree:
             return mds_mod.CONTAINED
         return mds_mod.PARTIAL
 
-    def range_query(self, range_mds, op="sum", measure=0):
+    def range_query(self, range_mds, op="sum", measure=0, explain=False):
         """Aggregate ``op`` of one measure over the cells in ``range_mds``.
 
         ``measure`` may be an index or a measure name.  Uses the
@@ -533,17 +592,39 @@ class DCTree:
         (the optimization of Ho et al., the paper's reference [6]): a
         partially overlapping subtree whose stored bound cannot improve
         the current best is pruned without being read.
+
+        With ``explain=True`` the answer comes back as an
+        :class:`~repro.obs.ExplainResult` carrying a per-level
+        :class:`~repro.obs.QueryProfile` whose page/CPU totals reconcile
+        exactly with the tracker delta of the call.  Charges are
+        bit-identical to the plain call (see :meth:`_explained`).
         """
+        if self._obs is None:
+            return self._range_query_entry(range_mds, op, measure, explain)
+        with self._obs.span("range_query", op=op) as span:
+            result = self._range_query_entry(range_mds, op, measure, explain)
+            span.set(mds=range_mds.digest()[:12],
+                     tree_version=self._tree_version)
+            return result
+
+    def _range_query_entry(self, range_mds, op, measure, explain):
         measure_index = self._measure_index(measure)
         self._check_query_mds(range_mds)
-        cache = self._active_result_cache()
-        if cache is None:
-            return self._range_query_computed(range_mds, op, measure_index)
         # use_materialized_aggregates changes the traversal (and therefore
         # the charged trace), so it is part of the memo identity: flipping
         # the ablation knob mid-life must recompute, not replay.
         key = ("range", range_mds.cache_key(), op, measure_index,
                self.config.use_materialized_aggregates)
+        if explain:
+            return self._explained(
+                "range_query", op, measure_index, key,
+                lambda: self._range_query_computed(
+                    range_mds, op, measure_index
+                ),
+            )
+        cache = self._active_result_cache()
+        if cache is None:
+            return self._range_query_computed(range_mds, op, measure_index)
         entry = cache.fetch(key, self._tree_version, self.tracker)
         if entry is not None:
             return entry.value
@@ -553,6 +634,57 @@ class DCTree:
             cpu_units = self.tracker.cpu_units - cpu_before
         cache.store(key, self._tree_version, value, trace, cpu_units)
         return value
+
+    def _explained(self, kind, op, measure_index, cache_key, compute,
+                   store_value=None):
+        """Run ``compute`` under a :class:`ProfileSession`; return both.
+
+        Charging is bit-identical to the unprofiled call: on a cache miss
+        the computation runs under the same access trace and stores the
+        same entry; on a *hit* the traversal is recomputed instead of
+        replayed — the stored trace was recorded at this very tree
+        version, so recomputing makes exactly the charges the replay
+        would have (the cache's counter-invisibility invariant), while
+        giving the profiler a real traversal to attribute.
+        """
+        profile = QueryProfile(
+            kind, op, measure_index, self._tree_version
+        )
+        cache = self._active_result_cache()
+        cached = None
+        if cache is None:
+            profile.cache_outcome = "disabled"
+        else:
+            cached = cache.peek(cache_key, self._tree_version)
+            profile.cache_outcome = "hit" if cached is not None else "miss"
+        started = time.perf_counter()
+        profile.before = self.tracker.snapshot()
+        session = ProfileSession(profile, self.tracker)
+        self._profile = session
+        try:
+            if cache is not None and cached is None:
+                with self.tracker.trace_accesses() as trace:
+                    cpu_before = self.tracker.cpu_units
+                    value = compute()
+                    cpu_units = self.tracker.cpu_units - cpu_before
+                cache.store(
+                    cache_key, self._tree_version,
+                    value if store_value is None else store_value(value),
+                    trace, cpu_units,
+                )
+            else:
+                value = compute()
+        finally:
+            self._profile = None
+            session.finish()
+            profile.after = self.tracker.snapshot()
+            profile.wall_seconds = time.perf_counter() - started
+        if self._obs is not None:
+            self._obs.counter(
+                "dctree_explains_total",
+                "Profiled (EXPLAIN) queries by kind.", kind=kind,
+            ).inc()
+        return ExplainResult(value, profile)
 
     def _range_query_computed(self, range_mds, op, measure_index):
         """The actual Fig. 7 traversal behind :meth:`range_query`."""
@@ -570,8 +702,12 @@ class DCTree:
         )
         return best
 
-    def _extremum_node(self, node, range_mds, sign, measure_index, best):
+    def _extremum_node(self, node, range_mds, sign, measure_index, best,
+                       depth=0):
         self.tracker.access_node(node.page_id, node.n_blocks)
+        profile = self._profile
+        if profile is not None:
+            profile.visit(depth, node.n_blocks)
         if node.is_leaf:
             self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
             for record in node.records:
@@ -579,10 +715,16 @@ class DCTree:
                     value = record.measures[measure_index]
                     if best is None or sign * value > sign * best:
                         best = value
+            if profile is not None:
+                profile.scanned(depth, len(node.records))
+                profile.charge_cpu(depth)
             return best
         candidates = []
         for child in node.children:
             outcome = self._classify_entry(range_mds, child.mds)
+            if profile is not None:
+                profile.classified(depth, outcome)
+                profile.charge_cpu(depth)
             if outcome == mds_mod.DISJOINT:
                 continue
             summary = child.aggregate.summaries[measure_index]
@@ -598,9 +740,11 @@ class DCTree:
                 break  # no remaining subtree can improve the best
             if contained:
                 best = bound
+                if profile is not None:
+                    profile.aggregate_hit(depth)
             else:
                 best = self._extremum_node(
-                    child, range_mds, sign, measure_index, best
+                    child, range_mds, sign, measure_index, best, depth + 1
                 )
         return best
 
@@ -708,25 +852,36 @@ class DCTree:
         self._collect_records(self._root, range_mds, result)
         return result
 
-    def _query_node(self, node, range_mds, aggregator):
+    def _query_node(self, node, range_mds, aggregator, depth=0):
         self.tracker.access_node(node.page_id, node.n_blocks)
+        profile = self._profile
+        if profile is not None:
+            profile.visit(depth, node.n_blocks)
         if node.is_leaf:
             self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
             for record in node.records:
                 if mds_mod.covers_record(range_mds, record, self.hierarchies):
                     aggregator.add_record(record)
+            if profile is not None:
+                profile.scanned(depth, len(node.records))
+                profile.charge_cpu(depth)
             return
         use_aggregates = self.config.use_materialized_aggregates
         for child in node.children:
             outcome = self._classify_entry(
                 range_mds, child.mds, check_containment=use_aggregates
             )
+            if profile is not None:
+                profile.classified(depth, outcome)
+                profile.charge_cpu(depth)
             if outcome == mds_mod.DISJOINT:
                 continue
             if outcome == mds_mod.CONTAINED:
                 aggregator.add_vector(child.aggregate)
+                if profile is not None:
+                    profile.aggregate_hit(depth)
             else:
-                self._query_node(child, range_mds, aggregator)
+                self._query_node(child, range_mds, aggregator, depth + 1)
 
     def _collect_records(self, node, range_mds, result):
         self.tracker.access_node(node.page_id, node.n_blocks)
@@ -764,7 +919,7 @@ class DCTree:
     # ------------------------------------------------------------------
 
     def group_by(self, dim_index, level, op="sum", measure=0,
-                 range_mds=None):
+                 range_mds=None, explain=False):
         """Aggregate per value at ``level`` of dimension ``dim_index``.
 
         Returns ``{attr_id: aggregate}`` for every value with at least
@@ -772,22 +927,46 @@ class DCTree:
         a subtree whose MDS maps to a *single* group and lies fully
         inside the range contributes its materialized aggregate without
         being read; everything else descends.
+
+        With ``explain=True`` returns an
+        :class:`~repro.obs.ExplainResult` over the finished group dict.
         """
         groups = self.group_by_aggregators(
-            dim_index, level, op, measure, range_mds
+            dim_index, level, op, measure, range_mds, explain=explain
         )
+        if explain:
+            finished = {
+                value: aggregator.result()
+                for value, aggregator in groups.value.items()
+            }
+            return ExplainResult(finished, groups.profile)
         return {
             value: aggregator.result() for value, aggregator in groups.items()
         }
 
     def group_by_aggregators(self, dim_index, level, op="sum", measure=0,
-                             range_mds=None):
+                             range_mds=None, explain=False):
         """Like :meth:`group_by` but returns the live aggregators.
 
         Callers that need to merge groups further (e.g. by label — TPC-D
         market segments repeat under every nation) combine the underlying
         summaries instead of the finished scalars.
         """
+        if self._obs is None:
+            return self._group_by_entry(
+                dim_index, level, op, measure, range_mds, explain
+            )
+        with self._obs.span(
+            "group_by", dim=dim_index, level=level, op=op,
+        ) as span:
+            result = self._group_by_entry(
+                dim_index, level, op, measure, range_mds, explain
+            )
+            span.set(tree_version=self._tree_version)
+            return result
+
+    def _group_by_entry(self, dim_index, level, op, measure, range_mds,
+                        explain):
         measure_index = self._measure_index(measure)
         if not 0 <= dim_index < self.schema.n_dimensions:
             raise QueryError("dimension index %r out of range" % (dim_index,))
@@ -801,16 +980,27 @@ class DCTree:
             range_mds = MDS.all_mds(self.hierarchies)
         else:
             self._check_query_mds(range_mds)
-        cache = self._active_result_cache()
-        if cache is None:
-            return self._group_by_computed(
-                dim_index, level, op, measure_index, range_mds
-            )
         key = (
             "groupby", dim_index, level, op, measure_index,
             range_mds.cache_key(),
             self.config.use_materialized_aggregates,
         )
+        if explain:
+            return self._explained(
+                "group_by", op, measure_index, key,
+                lambda: self._group_by_computed(
+                    dim_index, level, op, measure_index, range_mds
+                ),
+                store_value=lambda groups: {
+                    value: aggregator.copy()
+                    for value, aggregator in groups.items()
+                },
+            )
+        cache = self._active_result_cache()
+        if cache is None:
+            return self._group_by_computed(
+                dim_index, level, op, measure_index, range_mds
+            )
         entry = cache.fetch(key, self._tree_version, self.tracker)
         if entry is not None:
             # Hand out copies: callers merge groups onwards (e.g. by
@@ -843,8 +1033,11 @@ class DCTree:
         return groups
 
     def _group_node(self, node, dim_index, level, op, measure_index,
-                    range_mds, groups):
+                    range_mds, groups, depth=0):
         self.tracker.access_node(node.page_id, node.n_blocks)
+        profile = self._profile
+        if profile is not None:
+            profile.visit(depth, node.n_blocks)
         hierarchy = self.hierarchies[dim_index]
         if node.is_leaf:
             self.tracker.cpu(len(node.records) * self.schema.n_dimensions)
@@ -853,6 +1046,9 @@ class DCTree:
                     value = record.value_at_level(dim_index, level)
                     self._group_for(value, op, measure_index, groups) \
                         .add_record(record)
+            if profile is not None:
+                profile.scanned(depth, len(node.records))
+                profile.charge_cpu(depth)
             return
         use_aggregates = self.config.use_materialized_aggregates
         for child in node.children:
@@ -865,15 +1061,20 @@ class DCTree:
                 range_mds, child.mds,
                 check_containment=use_aggregates and single_group is not None,
             )
+            if profile is not None:
+                profile.classified(depth, outcome)
+                profile.charge_cpu(depth)
             if outcome == mds_mod.DISJOINT:
                 continue
             if outcome == mds_mod.CONTAINED:
                 self._group_for(single_group, op, measure_index, groups) \
                     .add_vector(child.aggregate)
+                if profile is not None:
+                    profile.aggregate_hit(depth)
             else:
                 self._group_node(
                     child, dim_index, level, op, measure_index, range_mds,
-                    groups,
+                    groups, depth + 1,
                 )
 
     @staticmethod
@@ -898,6 +1099,16 @@ class DCTree:
         the R-tree), shrunk supernodes give blocks back, and a root
         directory left with a single child is collapsed.
         """
+        if self._obs is None:
+            return self._delete_impl(record)
+        with self._obs.span("delete") as span:
+            self._delete_impl(record)
+            span.set(tree_version=self._tree_version,
+                     records=self._n_records)
+        self._obs.counter("dctree_deletes_total",
+                          "Records deleted.").inc()
+
+    def _delete_impl(self, record):
         self.note_mutation()
         orphans = []
         if not self._delete_from(self._root, record, orphans):

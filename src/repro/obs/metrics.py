@@ -1,0 +1,410 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry unifies the package's previously scattered statistics
+surfaces — :class:`~repro.storage.tracker.StorageTracker` counters,
+result-cache hit/miss/eviction stats, WAL append/fsync batching, split
+and supernode events, per-depth entry counts from
+:mod:`repro.core.stats` — under stable metric names, snapshotable as
+plain JSON (:meth:`MetricsRegistry.snapshot`) and as Prometheus text
+exposition (:meth:`MetricsRegistry.render_prometheus`, with the escaping
+rules of the format).
+
+Like the tracer, metrics are observational only: they are fed *from*
+the deterministic counters and never feed back into them, so the
+simulated cost model is bit-identical with the registry attached or not.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+
+#: Default histogram bucket bounds (seconds; spans are sub-second).
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+#: Quantiles reported in snapshots (bench reports embed these).
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up (got %r)" % (amount,))
+        self.value += amount
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max and quantiles.
+
+    Buckets hold cumulative-style counts at exposition time; quantiles
+    are estimated by linear interpolation inside the covering bucket —
+    coarse but dependency-free, and plenty for "where did span time go".
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        self.bounds = tuple(bounds)
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q):
+        """Estimated q-quantile (0 < q <= 1); None when empty."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = self.min if self.min is not None else 0.0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            upper = (
+                self.bounds[index] if index < len(self.bounds)
+                else (self.max if self.max is not None else lower)
+            )
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                low = max(lower, self.min) if index == 0 else lower
+                return low + fraction * max(0.0, upper - low)
+            cumulative += bucket_count
+            lower = upper
+        return self.max
+
+    def snapshot_value(self):
+        cumulative = 0
+        buckets = {}
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.bucket_counts[index]
+            buckets["%g" % bound] = cumulative
+        buckets["+Inf"] = self.count
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+            "quantiles": {
+                "p%g" % (100 * q): self.quantile(q)
+                for q in SNAPSHOT_QUANTILES
+            },
+        }
+
+
+class _Family:
+    """One named metric: a kind, a help string, children per label set."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name, kind, help_text):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children = {}  # sorted label tuple -> metric instance
+
+
+def _escape_help(text):
+    """Prometheus HELP escaping: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text):
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        str(text)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_number(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+class MetricsRegistry:
+    """Named metric families, each fanned out by label sets.
+
+    ``registry.counter("wal_appends_total", "...", op="insert")`` returns
+    the live child counter for that label combination, creating family
+    and child on first use.  Metric kinds are sticky: re-registering a
+    name with a different kind raises.
+    """
+
+    def __init__(self):
+        self._families = {}
+
+    def _child(self, name, kind, help_text, labels, factory):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                "metric %r already registered as a %s" % (name, family.kind)
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        key = tuple(sorted(labels.items()))
+        child = family.children.get(key)
+        if child is None:
+            child = factory()
+            family.children[key] = child
+        return child
+
+    # ``name``/``help_text`` are positional-only so that ``name=...`` (a
+    # very natural label, e.g. span names) lands in ``**labels``.
+
+    def counter(self, name, help_text="", /, **labels):
+        return self._child(name, "counter", help_text, labels, Counter)
+
+    def gauge(self, name, help_text="", /, **labels):
+        return self._child(name, "gauge", help_text, labels, Gauge)
+
+    def histogram(self, name, help_text="", /, *, buckets=None, **labels):
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(buckets)
+        return self._child(
+            name, "histogram", help_text, labels,
+            lambda: Histogram(bounds),
+        )
+
+    def get(self, name, /, **labels):
+        """The existing child metric, or None (no registration side effect)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(tuple(sorted(labels.items())))
+
+    def clear(self):
+        self._families = {}
+
+    def __len__(self):
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Every metric as one JSON-ready dict (sorted, stable)."""
+        out = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for key in sorted(family.children):
+                samples.append({
+                    "labels": dict(key),
+                    "value": family.children[key].snapshot_value(),
+                })
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def snapshot_json(self, indent=2):
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self, stream=None):
+        """Prometheus text exposition format (v0.0.4); returns the string."""
+        lines = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append("# HELP %s %s" % (name, _escape_help(family.help)))
+            lines.append("# TYPE %s %s" % (name, family.kind))
+            for key in sorted(family.children):
+                metric = family.children[key]
+                label_text = ",".join(
+                    '%s="%s"' % (label, _escape_label_value(value))
+                    for label, value in key
+                )
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for index, bound in enumerate(metric.bounds):
+                        cumulative += metric.bucket_counts[index]
+                        bucket_labels = key + (("le", "%g" % bound),)
+                        lines.append('%s_bucket{%s} %d' % (
+                            name,
+                            ",".join('%s="%s"'
+                                     % (label, _escape_label_value(value))
+                                     for label, value in bucket_labels),
+                            cumulative,
+                        ))
+                    inf_labels = key + (("le", "+Inf"),)
+                    lines.append('%s_bucket{%s} %d' % (
+                        name,
+                        ",".join('%s="%s"'
+                                 % (label, _escape_label_value(value))
+                                 for label, value in inf_labels),
+                        metric.count,
+                    ))
+                    suffix = "{%s}" % label_text if label_text else ""
+                    lines.append("%s_sum%s %s" % (
+                        name, suffix, _format_number(metric.sum)
+                    ))
+                    lines.append("%s_count%s %d" % (
+                        name, suffix, metric.count
+                    ))
+                else:
+                    suffix = "{%s}" % label_text if label_text else ""
+                    lines.append("%s%s %s" % (
+                        name, suffix,
+                        _format_number(metric.snapshot_value()),
+                    ))
+        text = "\n".join(lines)
+        if stream is not None and text:
+            stream.write(text + "\n")
+        return text
+
+    def __repr__(self):
+        return "MetricsRegistry(%d families)" % len(self._families)
+
+
+# ----------------------------------------------------------------------
+# bridges from the package's existing stat surfaces
+# ----------------------------------------------------------------------
+
+
+def observe_tracker(registry, tracker, prefix="storage"):
+    """Export a tracker's counters as gauges (delegates to the tracker)."""
+    tracker.publish_metrics(registry, prefix=prefix)
+
+
+def observe_result_cache(registry, cache, prefix="result_cache"):
+    """Export a result cache's counters as gauges (or no-op on None)."""
+    if cache is not None:
+        cache.publish_metrics(registry, prefix=prefix)
+
+
+def observe_tree_structure(registry, tree, prefix="dctree"):
+    """Per-depth node/entry/supernode gauges from the structural stats."""
+    # Imported lazily: repro.core's package __init__ imports the tree,
+    # which imports this package — a module-level import would cycle.
+    from ..core.stats import collect_stats
+
+    stats = collect_stats(tree)
+    registry.gauge(prefix + "_records",
+                   "Records indexed by the tree.").set(stats.n_records)
+    registry.gauge(prefix + "_height",
+                   "Tree height (root counts as 1).").set(stats.height)
+    registry.gauge(prefix + "_nodes_total",
+                   "Total nodes in the tree.").set(stats.n_nodes)
+    registry.gauge(prefix + "_supernodes_total",
+                   "Total supernodes in the tree.").set(stats.n_supernodes)
+    for level in stats.levels:
+        depth = str(level.depth)
+        registry.gauge(prefix + "_level_nodes",
+                       "Nodes at one depth (root=0).",
+                       depth=depth).set(level.n_nodes)
+        registry.gauge(prefix + "_level_supernodes",
+                       "Supernodes at one depth.",
+                       depth=depth).set(level.n_supernodes)
+        registry.gauge(prefix + "_level_entries_avg",
+                       "Average entries per node at one depth (Fig. 13).",
+                       depth=depth).set(level.avg_entries)
+        registry.gauge(prefix + "_level_blocks_avg",
+                       "Average blocks per node at one depth.",
+                       depth=depth).set(level.avg_blocks)
+
+
+def observe_dctree(registry, tree):
+    """Refresh every tree-derived gauge family: tracker, cache, structure."""
+    observe_tracker(registry, tree.tracker)
+    observe_result_cache(registry, getattr(tree, "result_cache", None))
+    observe_tree_structure(registry, tree)
+    registry.gauge("dctree_tree_version",
+                   "Monotone mutation counter.").set(tree.tree_version)
+
+
+def warehouse_registry(warehouse):
+    """The registry describing a warehouse right now.
+
+    Reuses the index's live :class:`~repro.obs.Observability` registry
+    when one is attached (so span counters appear alongside), otherwise
+    builds a fresh one; either way the tracker/cache/structure gauges
+    are refreshed before returning.
+    """
+    obs = getattr(warehouse, "observability", None)
+    registry = obs.registry if obs is not None else MetricsRegistry()
+    index = warehouse.index
+    if warehouse.backend == "dc-tree":
+        observe_dctree(registry, index)
+    else:
+        observe_tracker(registry, index.tracker)
+        if warehouse.backend == "x-tree":
+            observe_tree_structure(registry, index, prefix="xtree")
+    return registry
+
+
+def describe_result_cache(tree):
+    """One-line result-cache summary of a DC-tree (debug/CLI aid).
+
+    Returns e.g. ``"result-cache: 3 hits / 5 misses (37.5% hit rate), 5
+    entries of 128, 1 eviction(s), 2 invalidation(s)"`` — or a disabled
+    notice for trees without a cache.
+    """
+    cache = getattr(tree, "result_cache", None)
+    if cache is None:
+        return "result-cache: disabled"
+    stats = cache.stats()
+    return (
+        "result-cache: %d hits / %d misses (%.1f%% hit rate), "
+        "%d entries of %d, %d eviction(s), %d invalidation(s)"
+        % (stats.hits, stats.misses, 100.0 * stats.hit_rate,
+           stats.size, stats.capacity, stats.evictions,
+           stats.invalidations)
+    )

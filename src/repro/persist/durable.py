@@ -123,6 +123,7 @@ class DurableWarehouse:
             cls.wal_path(directory),
             fsync_interval=warehouse.index.config.wal_fsync_interval,
             start_lsn=0, faults=faults,
+            observability=warehouse.index.observability,
         )
         return cls(directory, warehouse, wal, faults=faults)
 
@@ -163,6 +164,7 @@ class DurableWarehouse:
             wal_file,
             fsync_interval=warehouse.index.config.wal_fsync_interval,
             start_lsn=report.last_lsn, faults=faults,
+            observability=warehouse.index.observability,
         )
         wal.truncate()
         return cls(directory, warehouse, wal, faults=faults, report=report)
@@ -188,6 +190,16 @@ class DurableWarehouse:
 
     def checkpoint(self):
         """Fold the WAL into a fresh atomic checkpoint and truncate it."""
+        obs = self.warehouse.index.observability
+        if obs is None:
+            return self._checkpoint_impl()
+        with obs.span("checkpoint", directory=self.directory) as span:
+            self._checkpoint_impl()
+            span.set(wal_lsn=self.wal.last_lsn)
+        obs.counter("checkpoints_total",
+                    "Atomic checkpoints written by the session.").inc()
+
+    def _checkpoint_impl(self):
         self.wal.sync()
         save_warehouse(
             self.warehouse, self.checkpoint_path(self.directory),

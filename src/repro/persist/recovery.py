@@ -18,6 +18,8 @@ perturbs the simulated cost model.
 from __future__ import annotations
 
 import math
+import os
+import time
 
 from ..errors import RecordNotFoundError, ReproError, StorageError
 from ..workload.queries import query_from_labels
@@ -47,6 +49,8 @@ class RecoveryReport:
         self.validation_error = None
         self.n_records = 0
         self.last_lsn = 0
+        self.wal_bytes_scanned = 0
+        self.checkpoint_age_seconds = None
 
     @property
     def ok(self):
@@ -68,9 +72,53 @@ class RecoveryReport:
                 "applied_inserts", "applied_deletes", "skipped_stale",
                 "failed_deletes", "torn_tail", "wal_error",
                 "stopped_at_rebase", "validated", "validation_error",
-                "n_records", "last_lsn",
+                "n_records", "last_lsn", "wal_bytes_scanned",
+                "checkpoint_age_seconds",
             )
         }
+
+    def publish_metrics(self, registry, prefix="recovery"):
+        """Export the audit as gauges into a metrics registry.
+
+        The satellite contract of the observability layer: the recovery
+        audit is queryable through the same registry as every other
+        stat, not only through this report's bespoke fields.
+        """
+        gauges = (
+            ("records_at_checkpoint", self.records_at_checkpoint,
+             "Records in the checkpoint the replay started from."),
+            ("checkpoint_lsn", self.checkpoint_lsn,
+             "Last WAL LSN the checkpoint already covered."),
+            ("wal_records_seen", self.wal_records_seen,
+             "WAL records scanned during replay."),
+            ("wal_bytes_scanned", self.wal_bytes_scanned,
+             "WAL bytes scanned (through the last trustworthy record)."),
+            ("applied_inserts", self.applied_inserts,
+             "Inserts replayed onto the checkpoint."),
+            ("applied_deletes", self.applied_deletes,
+             "Deletes replayed onto the checkpoint."),
+            ("skipped_stale", self.skipped_stale,
+             "Stale records skipped (LSN covered by the checkpoint)."),
+            ("failed_deletes", self.failed_deletes,
+             "Replayed deletes that targeted absent records."),
+            ("torn_tail", int(self.torn_tail),
+             "1 when a torn tail was discarded."),
+            ("stopped_at_rebase", int(self.stopped_at_rebase),
+             "1 when replay stopped at an uncheckpointed rebase."),
+            ("validated", int(self.validated),
+             "1 when the recovered warehouse passed validation."),
+            ("n_records", self.n_records,
+             "Records in the recovered warehouse."),
+            ("last_lsn", self.last_lsn,
+             "Highest LSN known after recovery."),
+        )
+        for name, value, help_text in gauges:
+            registry.gauge("%s_%s" % (prefix, name), help_text).set(value)
+        if self.checkpoint_age_seconds is not None:
+            registry.gauge(
+                prefix + "_checkpoint_age_seconds",
+                "Age of the checkpoint file at recovery time.",
+            ).set(self.checkpoint_age_seconds)
 
     def describe(self):
         """Human-readable multi-line summary (the CLI's output)."""
@@ -87,11 +135,11 @@ class RecoveryReport:
                 % (self.checkpoint_path, self.checkpoint_error)
             )
         lines.append(
-            "wal: %s — %d record(s) scanned, %d insert(s) + %d delete(s) "
-            "replayed, %d stale skipped"
+            "wal: %s — %d record(s) / %d byte(s) scanned, %d insert(s) + "
+            "%d delete(s) replayed, %d stale skipped"
             % (self.wal_path or "(none)", self.wal_records_seen,
-               self.applied_inserts, self.applied_deletes,
-               self.skipped_stale)
+               self.wal_bytes_scanned, self.applied_inserts,
+               self.applied_deletes, self.skipped_stale)
         )
         if self.torn_tail:
             lines.append(
@@ -156,6 +204,42 @@ def _audit(warehouse, report):
             )
 
 
+def _replay_wal(warehouse, wal_path, report, faults):
+    """Scan + replay the WAL onto the loaded checkpoint (report-driven)."""
+    try:
+        scan = wal_mod.read_wal(wal_path, faults=faults)
+    except StorageError as error:
+        scan = wal_mod.WalScan([], True, str(error), 0)
+    report.torn_tail = scan.torn_tail
+    report.wal_error = scan.error
+    report.wal_bytes_scanned = scan.bytes_scanned
+    for lsn, op, payload in scan.records:
+        report.wal_records_seen += 1
+        report.last_lsn = max(report.last_lsn, int(lsn))
+        if lsn <= report.checkpoint_lsn:
+            report.skipped_stale += 1
+            continue
+        if op == wal_mod.OP_REBASE:
+            report.stopped_at_rebase = True
+            break
+        if op == wal_mod.OP_INSERT:
+            warehouse.index.insert(
+                record_from_labels(warehouse.schema, payload)
+            )
+            report.applied_inserts += 1
+        elif op == wal_mod.OP_DELETE:
+            try:
+                warehouse.index.delete(
+                    record_from_labels(warehouse.schema, payload)
+                )
+                report.applied_deletes += 1
+            except RecordNotFoundError:
+                report.failed_deletes += 1
+        else:
+            report.wal_error = "unknown WAL op %r at LSN %d" % (op, lsn)
+            break
+
+
 def recover_warehouse(checkpoint_path, wal_path=None, config=None,
                       faults=None):
     """Rebuild the warehouse from checkpoint + WAL; never raises on
@@ -181,39 +265,25 @@ def recover_warehouse(checkpoint_path, wal_path=None, config=None,
     report.records_at_checkpoint = len(warehouse)
     report.checkpoint_lsn = int(data["meta"].get("wal_lsn", 0))
     report.last_lsn = report.checkpoint_lsn
+    try:
+        report.checkpoint_age_seconds = max(
+            0.0, time.time() - os.path.getmtime(checkpoint_path)
+        )
+    except OSError:
+        report.checkpoint_age_seconds = None
 
     if wal_path is not None:
-        try:
-            scan = wal_mod.read_wal(wal_path, faults=faults)
-        except StorageError as error:
-            scan = wal_mod.WalScan([], True, str(error), 0)
-        report.torn_tail = scan.torn_tail
-        report.wal_error = scan.error
-        for lsn, op, payload in scan.records:
-            report.wal_records_seen += 1
-            report.last_lsn = max(report.last_lsn, int(lsn))
-            if lsn <= report.checkpoint_lsn:
-                report.skipped_stale += 1
-                continue
-            if op == wal_mod.OP_REBASE:
-                report.stopped_at_rebase = True
-                break
-            if op == wal_mod.OP_INSERT:
-                warehouse.index.insert(
-                    record_from_labels(warehouse.schema, payload)
-                )
-                report.applied_inserts += 1
-            elif op == wal_mod.OP_DELETE:
-                try:
-                    warehouse.index.delete(
-                        record_from_labels(warehouse.schema, payload)
-                    )
-                    report.applied_deletes += 1
-                except RecordNotFoundError:
-                    report.failed_deletes += 1
-            else:
-                report.wal_error = "unknown WAL op %r at LSN %d" % (op, lsn)
-                break
+        obs = getattr(warehouse.index, "observability", None)
+        if obs is not None:
+            with obs.span("recovery.replay", wal=str(wal_path)) as span:
+                _replay_wal(warehouse, wal_path, report, faults)
+                span.set(applied=report.applied_total,
+                         bytes_scanned=report.wal_bytes_scanned,
+                         torn_tail=report.torn_tail)
+        else:
+            _replay_wal(warehouse, wal_path, report, faults)
+        if obs is not None:
+            report.publish_metrics(obs.registry)
 
     try:
         _audit(warehouse, report)

@@ -234,17 +234,24 @@ def parse(text):
     return _Parser(tokens, text).parse()
 
 
-def execute(warehouse, text):
+def execute(warehouse, text, explain=False):
     """Parse and run ``text`` against ``warehouse``.
 
     Returns a scalar for plain aggregates or a ``{label: value}`` dict
     for GROUP BY queries.  ``COUNT(*)`` counts cells (measure 0's count).
+    With ``explain=True`` (dc-tree warehouses) the result comes back as
+    an :class:`~repro.obs.ExplainResult` with the query's profile.
     """
     spec = parse(text)
     measure = spec.measure if spec.measure is not None else 0
+    # Forwarded only when asked: non-Warehouse targets (e.g. the hybrid
+    # aggview facade) need not grow an ``explain`` parameter.
+    extra = {"explain": True} if explain else {}
     if spec.group_by is not None:
         dimension, level = spec.group_by
         return warehouse.group_by(
-            dimension, level, op=spec.op, measure=measure, where=spec.where
+            dimension, level, op=spec.op, measure=measure, where=spec.where,
+            **extra,
         )
-    return warehouse.query(spec.op, measure=measure, where=spec.where)
+    return warehouse.query(spec.op, measure=measure, where=spec.where,
+                           **extra)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from .config import DCTreeConfig, XTreeConfig
 from .core.tree import DCTree
-from .errors import SchemaError
+from .errors import QueryError, SchemaError
 from .scan.table import FlatTable
 from .tpcd.schema import make_tpcd_schema
 from .workload.queries import RangeQuery, query_from_labels
@@ -123,25 +123,40 @@ class Warehouse:
     # queries
     # ------------------------------------------------------------------
 
-    def query(self, op="sum", measure=0, where=None):
+    def query(self, op="sum", measure=0, where=None, explain=False):
         """Aggregate ``op`` over the cells matching ``where``.
 
         ``where`` maps dimension names to ``(level_name, labels)``
         constraints (see :func:`repro.workload.query_from_labels`);
-        ``None`` aggregates the whole cube.
+        ``None`` aggregates the whole cube.  ``explain=True`` (dc-tree
+        only) returns an :class:`~repro.obs.ExplainResult` with the
+        per-level :class:`~repro.obs.QueryProfile` of the call.
         """
         range_query = query_from_labels(self.schema, where or {})
-        return self.execute(range_query, op=op, measure=measure)
+        return self.execute(range_query, op=op, measure=measure,
+                            explain=explain)
 
-    def execute(self, range_query, op="sum", measure=0):
+    def execute(self, range_query, op="sum", measure=0, explain=False):
         """Run a prepared :class:`RangeQuery` against the backend."""
         self._check_query(range_query)
+        if explain:
+            self._require_explain_backend()
+            return self.index.range_query(
+                range_query.mds, op=op, measure=measure, explain=True
+            )
         if self.backend == "x-tree":
             return self.index.range_query(
                 range_query.to_mbr(), range_query.predicate(),
                 op=op, measure=measure,
             )
         return self.index.range_query(range_query.mds, op=op, measure=measure)
+
+    def _require_explain_backend(self):
+        if self.backend != "dc-tree":
+            raise QueryError(
+                "EXPLAIN requires the dc-tree backend (its traversal is "
+                "what the profiler attributes); got %r" % self.backend
+            )
 
     def count(self, where=None):
         """Number of cells matching ``where``."""
@@ -183,7 +198,7 @@ class Warehouse:
         return float(self.count(where=where))
 
     def group_by(self, dim_name, level_name, op="sum", measure=0,
-                 where=None):
+                 where=None, explain=False):
         """Roll up one dimension: ``{label: aggregate}`` per value.
 
         Groups carrying the same label are merged (TPC-D market segments
@@ -207,14 +222,29 @@ class Warehouse:
 
         merged = {}
         if self.backend == "dc-tree":
+            profile = None
             groups = self.index.group_by_aggregators(
                 dim_index, level, op=op, measure=measure,
-                range_mds=range_query.mds,
+                range_mds=range_query.mds, explain=explain,
             )
+            if explain:
+                groups, profile = groups
             for value, aggregator in groups.items():
                 label = hierarchy.label(value)
                 summary = merged.setdefault(label, MeasureSummary())
                 summary.add_summary(aggregator.summary)
+            if explain:
+                from .obs import ExplainResult
+
+                return ExplainResult(
+                    {
+                        label: summary.aggregate(op)
+                        for label, summary in merged.items()
+                    },
+                    profile,
+                )
+        elif explain:
+            self._require_explain_backend()
         else:
             measure_index = (
                 self.schema.measure_index(measure)
@@ -258,6 +288,12 @@ class Warehouse:
     def tracker(self):
         """The backend's I/O/CPU tracker."""
         return self.index.tracker
+
+    @property
+    def observability(self):
+        """The backend's telemetry bundle (None unless a DC-tree has
+        ``DCTreeConfig.observability`` on)."""
+        return getattr(self.index, "observability", None)
 
     def byte_size(self):
         """Approximate on-disk footprint of the index in bytes."""

@@ -189,3 +189,72 @@ class TestDurability:
         assert main(["inspect", directory]) == 0
         out = capsys.readouterr().out
         assert "recovery: OK" in out and "backend:  dc-tree" in out
+
+    def test_recover_metrics_flag(self, tmp_path, capsys):
+        directory = self._durable_dir(tmp_path)
+        assert main(["recover", directory, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery_applied_inserts 7" in out
+        assert "recovery_validated 1" in out
+        assert "# TYPE recovery_wal_bytes_scanned gauge" in out
+
+
+class TestExplainSurface:
+    def test_explain_command_renders_profile(self, loaded_warehouse,
+                                             capsys):
+        assert main([
+            "explain", str(loaded_warehouse),
+            "--op", "sum", "--where", "Time.Year=1996",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN range_query op=sum" in out
+        assert "reconcile with tracker delta: OK" in out
+
+    def test_explain_json(self, loaded_warehouse, capsys):
+        import json
+
+        assert main([
+            "explain", str(loaded_warehouse), "--json",
+            "--by", "Time.Year",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reconciles"] is True
+        assert payload["kind"] == "group_by"
+        assert payload["result"]
+
+    def test_explain_sql(self, loaded_warehouse, capsys):
+        assert main([
+            "explain", str(loaded_warehouse),
+            "--sql", "SELECT COUNT(*) WHERE Time.Year = '1996'",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out and "reconcile with tracker delta: OK" in out
+
+    def test_query_explain_flag(self, loaded_warehouse, capsys):
+        assert main([
+            "query", str(loaded_warehouse), "--op", "count", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "300"
+        assert "EXPLAIN range_query op=count" in out
+
+    def test_groupby_explain_flag(self, loaded_warehouse, capsys):
+        assert main([
+            "groupby", str(loaded_warehouse), "Time.Year", "--explain",
+        ]) == 0
+        assert "EXPLAIN group_by" in capsys.readouterr().out
+
+    def test_sql_explain_flag(self, loaded_warehouse, capsys):
+        assert main([
+            "sql", str(loaded_warehouse), "SELECT COUNT(*)", "--explain",
+        ]) == 0
+        assert "reconcile with tracker delta: OK" \
+            in capsys.readouterr().out
+
+    def test_inspect_prints_metrics_snapshot(self, loaded_warehouse,
+                                             capsys):
+        assert main(["inspect", str(loaded_warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "dctree_records" in out
+        assert "storage_node_accesses" in out

@@ -357,17 +357,50 @@ class TestDynamicInvalidation:
 
 class TestRegressionHarness:
     def test_both_modes_produce_identical_digests(self):
-        cached, digest_cached = regression.run_workload(
+        cached, digest_cached, _ = regression.run_workload(
             True, n_records=150, n_queries=6, seed=3
         )
         with hotpath.disabled():
-            uncached, digest_uncached = regression.run_workload(
+            uncached, digest_uncached, _ = regression.run_workload(
                 False, n_records=150, n_queries=6, seed=3
             )
         assert digest_cached == digest_uncached
         for phase in ("insert", "query", "groupby"):
             assert cached[phase]["cpu_units"] == uncached[phase]["cpu_units"]
             assert cached[phase]["page_ios"] == uncached[phase]["page_ios"]
+
+    def test_observability_pass_is_invariant(self, monkeypatch):
+        monkeypatch.setitem(
+            regression.PROFILES, "tiny",
+            {"records": 200, "queries": 5, "repeats": 10},
+        )
+        entry = regression.run_benchmark(profile="tiny", seed=1,
+                                         emit_metrics=True)
+        observability = entry["observability"]
+        assert observability["digest_identical"] is True
+        assert observability["counters_identical"] is True
+        metrics = observability["metrics"]
+        assert "repro_spans_total" in metrics
+        assert "dctree_records" in metrics
+        spans = sum(
+            sample["value"]
+            for sample in metrics["repro_spans_total"]["samples"]
+        )
+        assert spans > 200  # at least one span per insert
+
+    def test_run_workload_observability_snapshot(self):
+        report, digest, metrics = regression.run_workload(
+            True, n_records=120, n_queries=4, seed=2, observability=True
+        )
+        plain_report, plain_digest, plain_metrics = regression.run_workload(
+            True, n_records=120, n_queries=4, seed=2
+        )
+        assert plain_metrics is None
+        assert digest == plain_digest
+        for phase in ("insert", "query", "groupby", "repeat"):
+            for counter in ("node_accesses", "page_ios", "cpu_units"):
+                assert report[phase][counter] == plain_report[phase][counter]
+        assert metrics["dctree_records"]["samples"][0]["value"] == 120
 
     def test_compare_to_baseline_flags_regressions(self):
         entry = {

@@ -1,0 +1,548 @@
+"""Tests for the unified telemetry layer (``repro.obs``).
+
+Four contracts:
+
+* spans nest correctly, carry attributes and export both machine- and
+  human-readable forms;
+* the metrics registry snapshots and renders valid Prometheus text
+  exposition (including its escaping rules);
+* EXPLAIN per-level totals reconcile *exactly* with the StorageTracker
+  delta of the profiled query, on cold runs and cache hits alike;
+* observability is strictly observational — deterministic counters,
+  query answers and ``tree_version`` are bit-identical with the layer
+  on or off (property-tested over seeded workloads).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DCTreeConfig
+from repro.core.tree import DCTree
+from repro.errors import QueryError
+from repro.obs import (
+    ExplainResult,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    observe_dctree,
+    warehouse_registry,
+)
+from repro.persist.durable import DurableWarehouse
+from repro.tpcd.generator import TPCDGenerator
+from repro.warehouse import Warehouse
+from repro.workload.queries import QueryGenerator, query_from_labels
+from tests.conftest import TOY_ROWS, build_toy_schema, toy_record
+
+
+class FakeClock:
+    """Deterministic, manually advanced timestamp source."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.25
+        return self.now
+
+
+def build_tree(observability=True, rows=TOY_ROWS, **config_kwargs):
+    """Toy tree with tiny node capacities, so even the 7 toy rows build
+    a directory level (EXPLAIN has entries to classify)."""
+    schema = build_toy_schema()
+    config_kwargs.setdefault("dir_capacity", 4)
+    config_kwargs.setdefault("leaf_capacity", 4)
+    tree = DCTree(schema, config=DCTreeConfig(
+        observability=observability, **config_kwargs
+    ))
+    for row in rows:
+        tree.insert(toy_record(schema, *row))
+    return schema, tree
+
+
+def counter_tuple(tree):
+    snap = tree.tracker.snapshot()
+    return (snap.node_accesses, snap.buffer_hits, snap.buffer_misses,
+            snap.page_writes, snap.cpu_units)
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_parent_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", op="sum") as outer:
+            with tracer.span("inner") as inner:
+                inner.set(node=7)
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root is outer
+        assert root.parent_id is None
+        assert root.children == [inner]
+        assert inner.parent_id == root.span_id
+        assert inner.attributes == {"node": 7}
+        assert root.attributes == {"op": "sum"}
+
+    def test_walk_yields_depths(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        walked = [(s.name, depth) for s, depth in tracer.roots[0].walk()]
+        assert walked == [("a", 0), ("b", 1), ("c", 2), ("d", 1)]
+
+    def test_durations_from_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("timed") as span:
+            assert span.duration == 0.0  # still open
+        # clock ticks 0.25 per call: start and end are one tick apart
+        # for a leaf span with no children.
+        assert span.duration == pytest.approx(0.25)
+
+    def test_bounded_ring_drops_oldest(self):
+        tracer = Tracer(max_roots=2, clock=FakeClock())
+        for index in range(5):
+            with tracer.span("op", index=index):
+                pass
+        assert len(tracer.roots) == 2
+        assert [s.attributes["index"] for s in tracer.roots] == [3, 4]
+        assert tracer.dropped_roots == 3
+        assert tracer.span_counts == {"op": 5}
+
+    def test_on_finish_sees_children_before_roots(self):
+        finished = []
+        tracer = Tracer(clock=FakeClock(),
+                        on_finish=lambda s: finished.append(s.name))
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert finished == ["child", "root"]
+
+    def test_export_jsonl_round_trips(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query", mds="abc"):
+            with tracer.span("visit"):
+                pass
+        lines = [json.loads(line)
+                 for line in tracer.export_jsonl().splitlines()]
+        assert [line["name"] for line in lines] == ["query", "visit"]
+        assert lines[0]["parent"] is None
+        assert lines[1]["parent"] == lines[0]["id"]
+        assert lines[0]["attributes"] == {"mds": "abc"}
+
+    def test_render_indents_and_reports_drops(self):
+        tracer = Tracer(max_roots=1, clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second", op="sum"):
+            with tracer.span("nested"):
+                pass
+        text = tracer.render()
+        assert "1 earlier trace(s) dropped" in text
+        assert "second" in text and "\n  nested" in text
+        assert "{op=sum}" in text
+
+    def test_clear_resets_retention(self):
+        tracer = Tracer(max_roots=1, clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        tracer.clear()
+        assert len(tracer.roots) == 0
+        assert tracer.dropped_roots == 0
+        assert tracer.span_counts == {}
+
+
+class TestObservability:
+    def test_finished_spans_feed_registry(self):
+        obs = Observability(clock=FakeClock())
+        with obs.span("insert"):
+            pass
+        with obs.span("insert"):
+            pass
+        counter = obs.registry.get("repro_spans_total", name="insert")
+        assert counter.snapshot_value() == 2
+        histogram = obs.registry.get("repro_span_seconds", name="insert")
+        assert histogram.snapshot_value()["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc()
+        registry.counter("ops_total").inc(4)
+        registry.gauge("depth").set(3)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snap = registry.snapshot()
+        assert snap["ops_total"]["samples"][0]["value"] == 5
+        assert snap["depth"]["samples"][0]["value"] == 3
+        assert snap["lat"]["samples"][0]["value"]["count"] == 1
+
+    def test_counters_never_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("ops_total").inc(-1)
+
+    def test_kind_is_sticky(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_labels_fan_out_children(self):
+        registry = MetricsRegistry()
+        registry.counter("wal_appends_total", op="insert").inc(2)
+        registry.counter("wal_appends_total", op="delete").inc()
+        snap = registry.snapshot()["wal_appends_total"]
+        by_op = {
+            sample["labels"]["op"]: sample["value"]
+            for sample in snap["samples"]
+        }
+        assert by_op == {"insert": 2, "delete": 1}
+
+    def test_name_is_a_legal_label(self):
+        # ``name=`` must land in **labels, not collide with the
+        # positional metric name (the span bridge depends on this).
+        registry = MetricsRegistry()
+        registry.counter("spans_total", name="insert").inc()
+        assert registry.get("spans_total", name="insert") is not None
+
+    def test_prometheus_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total", "help with \\ backslash\nand newline",
+            path='va"l\\ue\nx',
+        ).inc()
+        text = registry.render_prometheus()
+        assert ("# HELP weird_total help with \\\\ backslash\\n"
+                "and newline") in text
+        assert 'path="va\\"l\\\\ue\\nx"' in text
+        assert "# TYPE weird_total counter" in text
+
+    def test_prometheus_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(99.0)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_snapshot_json_is_valid(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "a gauge").set(1.5)
+        assert json.loads(registry.snapshot_json()) == registry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN profiles
+# ----------------------------------------------------------------------
+
+WHERE_DE = {"Geo": ("Country", ["DE"])}
+
+
+class TestExplain:
+    def test_range_query_reconciles_with_tracker_delta(self):
+        schema, tree = build_tree()
+        query = query_from_labels(schema, WHERE_DE)
+        before = tree.tracker.snapshot()
+        value, profile = tree.range_query(query.mds, explain=True)
+        delta = tree.tracker.snapshot() - before
+        assert value == tree.range_query(query.mds)
+        assert profile.reconciles()
+        # the profile's own delta is the full external delta too
+        assert profile.total_node_accesses == delta.node_accesses
+        assert profile.total_page_ios == delta.page_ios
+        assert profile.total_cpu_units == delta.cpu_units
+        assert profile.levels[0].depth == 0
+        assert sum(level.records_scanned for level in profile.levels) >= 0
+
+    def test_cache_hit_charges_match_miss(self):
+        schema, tree = build_tree()
+        query = query_from_labels(schema, WHERE_DE)
+        _, miss_profile = tree.range_query(query.mds, explain=True)
+        assert miss_profile.cache_outcome == "miss"
+        before = counter_tuple(tree)
+        value, hit_profile = tree.range_query(query.mds, explain=True)
+        assert hit_profile.cache_outcome == "hit"
+        assert hit_profile.reconciles()
+        # counter invisibility: the hit recomputes but charges exactly
+        # what a replayed hit (or the original miss) would have charged
+        assert hit_profile.delta.node_accesses \
+            == miss_profile.delta.node_accesses
+        assert hit_profile.delta.cpu_units == miss_profile.delta.cpu_units
+        assert counter_tuple(tree) != before  # it did charge
+
+    def test_cache_disabled_outcome(self):
+        schema, tree = build_tree(use_result_cache=False)
+        query = query_from_labels(schema, WHERE_DE)
+        _, profile = tree.range_query(query.mds, explain=True)
+        assert profile.cache_outcome == "disabled"
+        assert profile.reconciles()
+
+    def test_group_by_explain_reconciles(self):
+        schema, tree = build_tree()
+        result = tree.group_by(0, 1, explain=True)  # Geo by Country
+        assert isinstance(result, ExplainResult)
+        groups, profile = result
+        assert profile.kind == "group_by"
+        assert profile.reconciles()
+        assert groups == tree.group_by(0, 1)
+
+    def test_classifications_recorded(self):
+        schema, tree = build_tree()
+        query = query_from_labels(schema, WHERE_DE)
+        _, profile = tree.range_query(query.mds, explain=True)
+        total = sum(
+            level.disjoint + level.partial + level.contained
+            for level in profile.levels
+        )
+        assert total > 0
+
+    def test_render_and_to_dict(self):
+        schema, tree = build_tree()
+        query = query_from_labels(schema, WHERE_DE)
+        _, profile = tree.range_query(query.mds, explain=True)
+        text = profile.render()
+        assert "EXPLAIN range_query op=sum" in text
+        assert "reconcile with tracker delta: OK" in text
+        payload = profile.to_dict()
+        assert payload["reconciles"] is True
+        assert payload["totals"]["node_accesses"] \
+            == profile.total_node_accesses
+        json.dumps(payload)  # must be a JSON-ready dict
+
+    def test_explain_works_without_observability(self):
+        # EXPLAIN is per-call and independent of the config switch.
+        schema, tree = build_tree(observability=False)
+        query = query_from_labels(schema, WHERE_DE)
+        value, profile = tree.range_query(query.mds, explain=True)
+        assert profile.reconciles()
+        assert value == tree.range_query(query.mds)
+
+    def test_warehouse_explain_surface(self):
+        warehouse = Warehouse(build_toy_schema())
+        for row in TOY_ROWS:
+            warehouse.insert_record(toy_record(warehouse.schema, *row))
+        result = warehouse.query("sum", where=WHERE_DE, explain=True)
+        value, profile = result
+        assert value == warehouse.query("sum", where=WHERE_DE)
+        assert profile.reconciles()
+        groups, profile = warehouse.group_by(
+            "Geo", "Country", explain=True
+        )
+        assert groups == warehouse.group_by("Geo", "Country")
+        assert profile.reconciles()
+
+    def test_explain_requires_dc_tree_backend(self):
+        warehouse = Warehouse(build_toy_schema(), backend="scan")
+        with pytest.raises(QueryError, match="dc-tree"):
+            warehouse.query("sum", explain=True)
+        with pytest.raises(QueryError, match="dc-tree"):
+            warehouse.group_by("Geo", "Country", explain=True)
+
+    def test_tpcd_explain_reconciles(self, tpcd_schema):
+        generator = TPCDGenerator(tpcd_schema, seed=5, scale_records=300)
+        tree = DCTree(tpcd_schema, config=DCTreeConfig(observability=True))
+        for record in generator.generate(300):
+            tree.insert(record)
+        for selectivity in (0.01, 0.25):
+            query = QueryGenerator(tpcd_schema, selectivity, seed=7).query()
+            _, profile = tree.range_query(query.mds, explain=True)
+            assert profile.reconciles()
+
+
+# ----------------------------------------------------------------------
+# invariance: telemetry must be strictly observational
+# ----------------------------------------------------------------------
+
+
+class TestInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n_records=st.integers(20, 120))
+    def test_counters_results_bit_identical(self, seed, n_records):
+        trees = {}
+        for key, flag in (("on", True), ("off", False)):
+            schema = build_toy_schema()
+            tree = DCTree(schema, config=DCTreeConfig(observability=flag))
+            rng = random.Random(seed)
+            countries = ("DE", "FR", "US")
+            colors = ("red", "blue", "green")
+            records = []
+            for index in range(n_records):
+                record = toy_record(
+                    schema, rng.choice(countries), "City%d" % (index % 9),
+                    rng.choice(colors), float(rng.randrange(1, 50)),
+                )
+                tree.insert(record)
+                records.append(record)
+            answers = [
+                tree.range_query(query_from_labels(
+                    schema, {"Geo": ("Country", [country])}
+                ).mds)
+                for country in countries
+            ]
+            answers.append(sorted(tree.group_by(1, 0).items()))
+            tree.delete(records[0])
+            answers.append(tree.range_query(query_from_labels(
+                schema, {}
+            ).mds))
+            trees[key] = (counter_tuple(tree), tree.tree_version, answers)
+        assert trees["on"] == trees["off"]
+
+    def test_explain_leaves_counters_identical(self):
+        # the same query with and without explain=True charges the same
+        schema_a, tree_a = build_tree()
+        schema_b, tree_b = build_tree()
+        query_a = query_from_labels(schema_a, WHERE_DE)
+        query_b = query_from_labels(schema_b, WHERE_DE)
+        for _ in range(2):  # cold then cache-hit
+            plain = tree_a.range_query(query_a.mds)
+            explained, _profile = tree_b.range_query(
+                query_b.mds, explain=True
+            )
+            assert plain == explained
+            assert counter_tuple(tree_a) == counter_tuple(tree_b)
+            assert tree_a.tree_version == tree_b.tree_version
+
+
+# ----------------------------------------------------------------------
+# bridges, durability telemetry, back-compat
+# ----------------------------------------------------------------------
+
+
+class TestBridgesAndDurability:
+    def test_observe_dctree_publishes_gauges(self):
+        schema, tree = build_tree()
+        registry = MetricsRegistry()
+        observe_dctree(registry, tree)
+        snap = registry.snapshot()
+        assert snap["dctree_records"]["samples"][0]["value"] == len(TOY_ROWS)
+        assert snap["dctree_tree_version"]["samples"][0]["value"] \
+            == tree.tree_version
+        assert "storage_node_accesses" in snap
+        assert "result_cache_size" in snap
+
+    def test_warehouse_registry_reuses_live_registry(self):
+        warehouse = Warehouse(
+            build_toy_schema(), config=DCTreeConfig(observability=True)
+        )
+        for row in TOY_ROWS:
+            warehouse.insert_record(toy_record(warehouse.schema, *row))
+        registry = warehouse_registry(warehouse)
+        assert registry is warehouse.observability.registry
+        snap = registry.snapshot()
+        assert "repro_spans_total" in snap  # insert spans landed here
+        assert "dctree_records" in snap
+
+    def test_tree_spans_and_counters(self):
+        schema, tree = build_tree()
+        counts = tree.observability.tracer.span_counts
+        assert counts["insert"] == len(TOY_ROWS)
+        assert counts.get("choose_subtree", 0) > 0
+        inserts = tree.observability.registry.get("dctree_inserts_total")
+        assert inserts.snapshot_value() == len(TOY_ROWS)
+
+    def test_wal_checkpoint_recovery_telemetry(self, tmp_path):
+        directory = tmp_path / "dw"
+        warehouse = Warehouse(
+            build_toy_schema(), config=DCTreeConfig(observability=True)
+        )
+        session = DurableWarehouse.create(directory, warehouse)
+        try:
+            for row in TOY_ROWS[:3]:
+                session.insert_record(toy_record(warehouse.schema, *row))
+            session.checkpoint()
+            for row in TOY_ROWS[3:5]:
+                session.insert_record(toy_record(warehouse.schema, *row))
+        finally:
+            session.close()
+        registry = warehouse.observability.registry
+        appends = registry.get("wal_appends_total", op="insert")
+        assert appends.snapshot_value() == 5
+        assert registry.get("checkpoints_total").snapshot_value() == 1
+        counts = warehouse.observability.tracer.span_counts
+        assert counts["wal.append"] == 5
+        assert counts["checkpoint"] == 1
+
+        # recover (2 uncheckpointed inserts replay) with telemetry on
+        recovered = DurableWarehouse.open(
+            directory, config=DCTreeConfig(observability=True)
+        )
+        try:
+            report = recovered.report
+            assert report.applied_inserts == 2
+            assert report.wal_bytes_scanned > 0
+            assert report.checkpoint_age_seconds is not None
+            obs = recovered.warehouse.observability
+            assert obs.tracer.span_counts["recovery.replay"] == 1
+            applied = obs.registry.get("recovery_applied_inserts")
+            assert applied.snapshot_value() == 2
+            scanned = obs.registry.get("recovery_wal_bytes_scanned")
+            assert scanned.snapshot_value() == report.wal_bytes_scanned
+        finally:
+            recovered.close()
+
+    def test_recovery_report_publish_metrics_standalone(self, tmp_path):
+        directory = tmp_path / "dw"
+        warehouse = Warehouse(build_toy_schema())
+        session = DurableWarehouse.create(directory, warehouse)
+        try:
+            for row in TOY_ROWS[:2]:
+                session.insert_record(toy_record(warehouse.schema, *row))
+        finally:
+            session.close()
+        recovered = DurableWarehouse.open(directory)
+        try:
+            registry = MetricsRegistry()
+            recovered.report.publish_metrics(registry)
+            snap = registry.snapshot()
+            assert snap["recovery_applied_inserts"]["samples"][0]["value"] \
+                == 2
+            assert snap["recovery_validated"]["samples"][0]["value"] == 1
+            assert snap["recovery_wal_bytes_scanned"]["samples"][0]["value"] \
+                > 0
+        finally:
+            recovered.close()
+
+    def test_describe_result_cache_back_compat(self):
+        from repro.core.debug import describe_result_cache as legacy
+        from repro.obs.metrics import describe_result_cache as canonical
+
+        assert legacy is canonical
+        schema, tree = build_tree()
+        assert "result-cache" in legacy(tree)
+
+
+class TestConfig:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBSERVABILITY", "1")
+        assert DCTreeConfig().observability is True
+        assert DCTreeConfig(observability=False).observability is False
+        monkeypatch.setenv("REPRO_OBSERVABILITY", "0")
+        assert DCTreeConfig().observability is False
+        monkeypatch.delenv("REPRO_OBSERVABILITY")
+        assert DCTreeConfig().observability is False
+
+    def test_off_by_default_means_no_bundle(self):
+        schema, tree = build_tree(observability=False)
+        assert tree.observability is None
