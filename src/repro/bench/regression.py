@@ -15,6 +15,12 @@ re-asks are answered from memory while the recorded tracker charges are
 replayed, so the deterministic counters still match the uncached mode
 exactly and only wall-clock improves.
 
+An *insert-heavy* phase prices batched mutation: the same record stream
+goes into two fresh trees serially and through chunked ``insert_batch``
+calls, recording the page-write reduction (``--min-batch-speedup`` gates
+it) and proving, per run, that batching leaves the read counters and the
+structure digest bit-identical to serial insertion.
+
 Regression checking compares the *deterministic* counters of the cached
 mode against the committed baseline with a configurable tolerance, so CI
 catches algorithmic regressions without depending on machine speed;
@@ -44,6 +50,7 @@ import time
 
 from .. import hotpath
 from ..config import DCTreeConfig
+from ..core.debug import structure_digest
 from ..core.tree import DCTree
 from ..obs.metrics import observe_dctree
 from ..persist.durable import WalSink
@@ -62,6 +69,10 @@ PROFILES = {
     "full": {"records": 30000, "queries": 100, "repeats": 400},
     "smoke": {"records": 4000, "queries": 30, "repeats": 120},
 }
+
+#: Chunk size of the insert-heavy batched phase (one page of records at
+#: the default leaf capacity).
+BATCH_SIZE = 64
 
 #: Counters whose growth beyond the tolerance fails the run.
 _CHECKED_COUNTERS = ("node_accesses", "page_ios", "cpu_units")
@@ -282,6 +293,9 @@ def run_benchmark(profile="full", seed=0, emit_metrics=False):
         "selectivities": list(SELECTIVITIES),
         "zipf_exponent": ZIPF_EXPONENT,
         "digest": cached_digest,
+        "batch_insert": measure_batch_amortization(
+            params["records"], seed=seed
+        ),
         "modes": {"cached": cached, "uncached": uncached},
         "speedup": {
             "query_wall": _ratio(
@@ -367,6 +381,65 @@ def measure_wal_overhead(n_records, seed=0, fsync_interval=64):
     }
 
 
+def measure_batch_amortization(n_records, seed=0, batch_size=BATCH_SIZE):
+    """The insert-heavy phase: serial ``insert`` vs chunked ``insert_batch``.
+
+    Runs the same fixed-seed record stream into two fresh trees — one
+    record at a time, and in batches of ``batch_size`` — and reports the
+    amortization: page writes per pass, their reduction ratio, simulated
+    I/O+CPU seconds and wall clock.  Two invariants ride along as
+    bench-level proofs of the batch path's contract: the *read* counters
+    (node accesses, buffer hits/misses) must be bit-identical, and the
+    resulting trees must have equal structure digests — batching may
+    only ever remove write charges, never change the tree or what gets
+    read.
+    """
+    schema = make_tpcd_schema()
+    generator = TPCDGenerator(schema, seed=seed, scale_records=n_records)
+    records = generator.generate(n_records)
+
+    def insert_pass(use_batch):
+        tree = DCTree(schema, config=DCTreeConfig())
+        start = time.perf_counter()
+        if use_batch:
+            for begin in range(0, len(records), batch_size):
+                tree.insert_batch(records[begin:begin + batch_size])
+        else:
+            for record in records:
+                tree.insert(record)
+        wall = time.perf_counter() - start
+        return wall, tree.tracker.snapshot(), structure_digest(tree)
+
+    serial_wall, serial_stats, serial_digest = insert_pass(False)
+    batched_wall, batched_stats, batched_digest = insert_pass(True)
+    reads_identical = (
+        serial_stats.node_accesses == batched_stats.node_accesses
+        and serial_stats.buffer_hits == batched_stats.buffer_hits
+        and serial_stats.buffer_misses == batched_stats.buffer_misses
+    )
+    return {
+        "records": n_records,
+        "seed": seed,
+        "batch_size": batch_size,
+        "serial_wall_seconds": serial_wall,
+        "batched_wall_seconds": batched_wall,
+        "serial_page_writes": serial_stats.page_writes,
+        "batched_page_writes": batched_stats.page_writes,
+        "page_write_reduction": _ratio(
+            serial_stats.page_writes, batched_stats.page_writes
+        ),
+        "serial_simulated_seconds": serial_stats.simulated_seconds(),
+        "batched_simulated_seconds": batched_stats.simulated_seconds(),
+        "simulated_speedup": _ratio(
+            serial_stats.simulated_seconds(),
+            batched_stats.simulated_seconds(),
+        ),
+        "reads_identical": reads_identical,
+        "cpu_not_worse": batched_stats.cpu_units <= serial_stats.cpu_units,
+        "structure_identical": serial_digest == batched_digest,
+    }
+
+
 def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
     """Regressions of ``current`` vs ``baseline``; returns a problem list.
 
@@ -413,6 +486,19 @@ def compare_to_baseline(current, baseline, tolerance, strict_wall=False):
                     "%s ops/sec regressed: %.1f -> %.1f (>%d%% tolerance)"
                     % (phase, base_rate, cur_rate, round(tolerance * 100))
                 )
+    base_batch = baseline.get("batch_insert")
+    cur_batch = current.get("batch_insert")
+    # Entries predating the insert-heavy batch phase lack it.
+    if base_batch and cur_batch \
+            and base_batch.get("batch_size") == cur_batch.get("batch_size"):
+        base_writes = base_batch["batched_page_writes"]
+        cur_writes = cur_batch["batched_page_writes"]
+        if cur_writes > base_writes * (1.0 + tolerance):
+            problems.append(
+                "batched insert page writes regressed: %d -> %d (>%d%% "
+                "tolerance)"
+                % (base_writes, cur_writes, round(tolerance * 100))
+            )
     return problems
 
 
@@ -441,6 +527,17 @@ def _format_summary(entry):
            speedup["repeat_wall"], speedup["query_heavy_wall"],
            speedup["total_wall"])
     )
+    batch = entry.get("batch_insert")
+    if batch:
+        lines.append(
+            "batched inserts (size %d): page writes %d -> %d (%.2fx "
+            "reduction), simulated %.2fx faster, reads identical: %s, "
+            "structure identical: %s"
+            % (batch["batch_size"], batch["serial_page_writes"],
+               batch["batched_page_writes"], batch["page_write_reduction"],
+               batch["simulated_speedup"], batch["reads_identical"],
+               batch["structure_identical"])
+        )
     return "\n".join(lines)
 
 
@@ -470,6 +567,11 @@ def main(argv=None):
     parser.add_argument("--min-repeat-speedup", type=float, default=None,
                         help="fail when the repeated-query (result-cache) "
                              "wall speedup drops below this factor")
+    parser.add_argument("--min-batch-speedup", type=float, default=None,
+                        help="fail when the insert-heavy phase's batched "
+                             "page-write reduction drops below this factor "
+                             "(also fails when batching perturbs reads or "
+                             "tree structure)")
     parser.add_argument("--max-wal-overhead", type=float, default=None,
                         metavar="RATIO",
                         help="also measure the WAL insert-path overhead "
@@ -526,6 +628,21 @@ def main(argv=None):
             failed = True
             print("REGRESSION: repeated-query speedup %.2fx below required "
                   "%.2fx" % (achieved, args.min_repeat_speedup))
+    if args.min_batch_speedup is not None:
+        batch = entry["batch_insert"]
+        if not batch["reads_identical"]:
+            failed = True
+            print("REGRESSION: batched inserts changed the read counters "
+                  "(batching may only coalesce writes)")
+        if not batch["structure_identical"]:
+            failed = True
+            print("REGRESSION: batched inserts built a different tree "
+                  "(must be structurally identical to serial insertion)")
+        if batch["page_write_reduction"] < args.min_batch_speedup:
+            failed = True
+            print("REGRESSION: batched page-write reduction %.2fx below "
+                  "required %.2fx"
+                  % (batch["page_write_reduction"], args.min_batch_speedup))
     if args.max_wal_overhead is not None:
         durability = measure_wal_overhead(
             PROFILES[profile]["records"], seed=args.seed,

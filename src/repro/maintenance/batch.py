@@ -135,11 +135,20 @@ class BatchWarehouse:
         before = tracker.snapshot()
         start = time.perf_counter()
         batch, self._pending = self._pending, []
+        # Consecutive inserts apply as one amortized batch (the window IS
+        # a batch regime, so it benefits directly from insert_batch's
+        # once-per-touched-node write charging); deletes flush the run.
+        run = []
         for kind, record in batch:
             if kind == "insert":
-                self._warehouse.insert_record(record)
-            else:
-                self._warehouse.delete(record)
+                run.append(record)
+                continue
+            if run:
+                self._warehouse.insert_records(run)
+                run = []
+            self._warehouse.delete(record)
+        if run:
+            self._warehouse.insert_records(run)
         wall = time.perf_counter() - start
         delta = tracker.snapshot() - before
         self._in_window = False

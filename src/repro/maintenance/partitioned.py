@@ -110,6 +110,32 @@ class PartitionedWarehouse:
         self._partition_for(self._key_of(record), create=True).insert(record)
         return record
 
+    def insert_many(self, rows):
+        """Insert many ``(dimension_values, measures)`` pairs batched.
+
+        Records are grouped by partition key (preserving arrival order
+        within each partition) and each group goes through its
+        partition's :meth:`~repro.core.tree.DCTree.insert_batch`, so the
+        amortized write charging applies per partition.  Returns the
+        stored records in arrival order.
+        """
+        records = [
+            self.schema.record(dimension_values, measures)
+            for dimension_values, measures in rows
+        ]
+        self.insert_records(records)
+        return records
+
+    def insert_records(self, records):
+        """Insert already-built records, batched per partition."""
+        records = list(records)
+        groups = {}
+        for record in records:
+            groups.setdefault(self._key_of(record), []).append(record)
+        for key, group in groups.items():
+            self._partition_for(key, create=True).insert_batch(group)
+        return records
+
     def delete(self, record):
         partition = self._partition_for(self._key_of(record))
         if partition is None:

@@ -33,12 +33,13 @@ import os
 from ..errors import StorageError
 from .io import record_to_labels, save_warehouse
 from .recovery import recover_warehouse
-from .wal import OP_DELETE, OP_INSERT, OP_REBASE, WriteAheadLog
+from .wal import OP_BATCH, OP_DELETE, OP_INSERT, OP_REBASE, WriteAheadLog
 
 
 class WalSink:
     """Adapts a :class:`WriteAheadLog` to the DC-tree mutation-sink
-    protocol (``record_insert`` / ``record_delete`` / ``record_rebase``).
+    protocol (``record_insert`` / ``record_delete`` /
+    ``record_insert_batch`` / ``record_rebase``).
 
     Records are logged as *label* paths (see
     :func:`~repro.persist.io.record_to_labels`): hierarchy IDs interned
@@ -53,6 +54,16 @@ class WalSink:
 
     def record_insert(self, record):
         self.wal.append(OP_INSERT, record_to_labels(self.schema, record))
+
+    def record_insert_batch(self, records):
+        """Group-commit one acknowledged batch: a single atomic WAL
+        record carrying every label path, hence one append — and at
+        ``fsync_interval=1`` exactly one fsync — per batch.  A torn tail
+        drops the whole batch, never a prefix of it."""
+        self.wal.append(
+            OP_BATCH,
+            [record_to_labels(self.schema, record) for record in records],
+        )
 
     def record_delete(self, record):
         self.wal.append(OP_DELETE, record_to_labels(self.schema, record))
@@ -180,6 +191,20 @@ class DurableWarehouse:
     def insert_record(self, record):
         """Insert an already-built record; durable once returned."""
         return self.warehouse.insert_record(record)
+
+    def insert_many(self, rows):
+        """Insert many ``(dimension_values, measures)`` pairs as one
+        group-committed batch: the in-memory apply amortizes page
+        writes, and the whole batch lands in the WAL as one atomic
+        record (one fsync per acknowledged batch at
+        ``wal_fsync_interval=1``).  Durable once returned; a crash
+        before the return loses the entire batch, never part of it."""
+        return self.warehouse.insert_many(rows)
+
+    def insert_records(self, records):
+        """Batch variant of :meth:`insert_record` (see
+        :meth:`insert_many` for the durability semantics)."""
+        return self.warehouse.insert_records(records)
 
     def delete(self, record):
         """Delete one record; durable once returned."""

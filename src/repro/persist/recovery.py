@@ -39,6 +39,7 @@ class RecoveryReport:
         self.records_at_checkpoint = 0
         self.wal_records_seen = 0
         self.applied_inserts = 0
+        self.applied_batches = 0
         self.applied_deletes = 0
         self.skipped_stale = 0
         self.failed_deletes = 0
@@ -69,7 +70,8 @@ class RecoveryReport:
                 "checkpoint_path", "wal_path", "checkpoint_ok",
                 "checkpoint_error", "checkpoint_lsn",
                 "records_at_checkpoint", "wal_records_seen",
-                "applied_inserts", "applied_deletes", "skipped_stale",
+                "applied_inserts", "applied_batches", "applied_deletes",
+                "skipped_stale",
                 "failed_deletes", "torn_tail", "wal_error",
                 "stopped_at_rebase", "validated", "validation_error",
                 "n_records", "last_lsn", "wal_bytes_scanned",
@@ -94,7 +96,9 @@ class RecoveryReport:
             ("wal_bytes_scanned", self.wal_bytes_scanned,
              "WAL bytes scanned (through the last trustworthy record)."),
             ("applied_inserts", self.applied_inserts,
-             "Inserts replayed onto the checkpoint."),
+             "Inserts replayed onto the checkpoint (batched included)."),
+            ("applied_batches", self.applied_batches,
+             "Group-committed insert batches replayed."),
             ("applied_deletes", self.applied_deletes,
              "Deletes replayed onto the checkpoint."),
             ("skipped_stale", self.skipped_stale,
@@ -141,6 +145,11 @@ class RecoveryReport:
                self.wal_bytes_scanned, self.applied_inserts,
                self.applied_deletes, self.skipped_stale)
         )
+        if self.applied_batches:
+            lines.append(
+                "wal: %d group-committed batch(es) among the replayed "
+                "inserts" % self.applied_batches
+            )
         if self.torn_tail:
             lines.append(
                 "wal: torn tail discarded (%s) — expected crash residue, "
@@ -227,6 +236,23 @@ def _replay_wal(warehouse, wal_path, report, faults):
                 record_from_labels(warehouse.schema, payload)
             )
             report.applied_inserts += 1
+        elif op == wal_mod.OP_BATCH:
+            # One atomic group commit: the record either survived the
+            # crash whole (every insert replays, batched so the replayed
+            # tracker charges match the original run) or was torn away
+            # whole — read_wal never yields a prefix of it.
+            records = [
+                record_from_labels(warehouse.schema, labels)
+                for labels in payload
+            ]
+            insert_batch = getattr(warehouse.index, "insert_batch", None)
+            if insert_batch is not None:
+                insert_batch(records)
+            else:
+                for record in records:
+                    warehouse.index.insert(record)
+            report.applied_inserts += len(records)
+            report.applied_batches += 1
         elif op == wal_mod.OP_DELETE:
             try:
                 warehouse.index.delete(

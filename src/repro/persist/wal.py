@@ -19,9 +19,11 @@ On-disk format
 
 ``lsn`` is a monotone log sequence number (checkpoints remember the last
 LSN they contain, so replay skips records a newer checkpoint already
-covers).  ``op`` is ``"insert"``, ``"delete"`` or ``"rebase"`` (a root
-swap — bulk load — that a record-level log cannot replay; recovery stops
-there and demands the checkpoint that the rebase triggered).
+covers).  ``op`` is ``"insert"``, ``"delete"``, ``"insert_batch"`` (one
+group-committed batch of inserts in a single atomic record) or
+``"rebase"`` (a root swap — bulk load — that a record-level log cannot
+replay; recovery stops there and demands the checkpoint that the rebase
+triggered).
 
 Each record is length-prefixed and CRC-checksummed, so a torn tail —
 the expected residue of a crash mid-append — is detected and cleanly
@@ -56,6 +58,12 @@ _PREFIX = struct.Struct(">II")
 OP_INSERT = "insert"
 OP_DELETE = "delete"
 OP_REBASE = "rebase"
+#: One group-committed insert batch: the data is the *list* of the
+#: batch's label paths inside a single length-prefixed, checksummed
+#: record, so the batch is atomic on disk — a torn tail discards all of
+#: it, never a prefix — and costs one append (hence one fsync at
+#: ``fsync_interval=1``) per acknowledged batch.
+OP_BATCH = "insert_batch"
 
 
 def encode_record(lsn, op, data):

@@ -49,6 +49,26 @@ class FlatTable:
         self.tracker.write_node((self._base_page, last_page))
         self.tracker.cpu(1)
 
+    def insert_batch(self, records):
+        """Append many records, writing each touched heap page once.
+
+        Accesses mirror serial :meth:`insert` exactly (one per record on
+        the then-last page), but the write-backs coalesce: a page filled
+        by k records of the batch is written once instead of k times.
+        Returns the number of records inserted.
+        """
+        records = list(records)
+        touched = {}
+        for record in records:
+            self._records.append(record)
+            last_page = (len(self._records) - 1) // self._records_per_page
+            self.tracker.access_node((self._base_page, last_page))
+            self.tracker.cpu(1)
+            touched[last_page] = None
+        for page in touched:
+            self.tracker.write_node((self._base_page, page))
+        return len(records)
+
     def delete(self, record):
         """Remove one record by value (scans for it, like a real heap)."""
         for index, existing in enumerate(self._records):

@@ -112,6 +112,37 @@ class Warehouse:
         self.index.insert(record)
         return record
 
+    def insert_many(self, rows):
+        """Insert many ``(dimension_values, measures)`` pairs as one batch.
+
+        Builds the records up front, then routes them through the
+        backend's amortized ``insert_batch`` when it has one (the
+        DC-tree and the scan table charge page writes once per touched
+        node/page per batch); backends without a batch path fall back to
+        serial inserts, which yields the identical tree at the serial
+        write cost.  Returns the stored records.
+        """
+        records = [
+            self.schema.record(dimension_values, measures)
+            for dimension_values, measures in rows
+        ]
+        self.insert_records(records)
+        return records
+
+    def insert_records(self, records):
+        """Insert already-built records as one batch (see
+        :meth:`insert_many` for the dispatch semantics)."""
+        records = list(records)
+        if not records:
+            return records
+        insert_batch = getattr(self.index, "insert_batch", None)
+        if insert_batch is not None:
+            insert_batch(records)
+        else:
+            for record in records:
+                self.index.insert(record)
+        return records
+
     def delete(self, record):
         """Delete one record (by value)."""
         self.index.delete(record)

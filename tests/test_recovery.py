@@ -82,16 +82,43 @@ def _workload_steps(records):
     ]
 
 
+#: Rows for the batched workload — TOY_ROWS plus enough extras that the
+#: batches split pages and cross a checkpoint boundary.
+_BATCH_ROWS = TOY_ROWS + (
+    ("IT", "Rome", "red", 9.0),
+    ("IT", "Milan", "blue", 4.0),
+    ("JP", "Tokyo", "green", 6.0),
+)
+
+
+def _batch_workload_steps(records):
+    """Batched inserts interleaved with a delete and a checkpoint.  Each
+    ``batch`` step is acknowledged as a unit, so the crash matrix proves
+    group-commit atomicity: a batch replays whole or not at all."""
+    return [
+        ("insert", records[0]),
+        ("batch", records[1:4]),
+        ("checkpoint", None),
+        ("batch", records[4:7]),
+        ("delete", records[2]),
+        ("batch", records[7:10]),
+    ]
+
+
 def _apply_expected(schema, state, step):
-    kind, record = step
+    kind, payload = step
     if kind == "insert":
-        state[_key(schema, record)] += 1
+        state[_key(schema, payload)] += 1
+    elif kind == "batch":
+        for record in payload:
+            state[_key(schema, record)] += 1
     elif kind == "delete":
-        state[_key(schema, record)] -= 1
+        state[_key(schema, payload)] -= 1
     return +state  # drop zero entries
 
 
-def _run_workload(directory, plan):
+def _run_workload(directory, plan, steps_fn=_workload_steps,
+                  rows=TOY_ROWS):
     """One scripted run under ``plan``; returns what recovery must honor.
 
     Returns ``(committed, maybe, fault, injector)`` — the acknowledged
@@ -100,7 +127,7 @@ def _run_workload(directory, plan):
     """
     warehouse = _toy_warehouse()
     schema = warehouse.schema
-    records = [toy_record(schema, *row) for row in TOY_ROWS]
+    records = [toy_record(schema, *row) for row in rows]
     session = DurableWarehouse.create(directory, warehouse)
     injector = FaultInjector(plan)
     _attach(session, injector)
@@ -108,13 +135,15 @@ def _run_workload(directory, plan):
     maybe = Counter()
     fault = None
     try:
-        for step in _workload_steps(records):
+        for step in steps_fn(records):
             maybe = _apply_expected(schema, Counter(state), step)
-            kind, record = step
+            kind, payload = step
             if kind == "insert":
-                session.insert_record(record)
+                session.insert_record(payload)
+            elif kind == "batch":
+                session.insert_records(payload)
             elif kind == "delete":
-                session.delete(record)
+                session.delete(payload)
             else:
                 session.checkpoint()
             state = Counter(maybe)
@@ -176,6 +205,74 @@ def test_crash_matrix_no_acknowledged_mutation_lost(tmp_path):
             assert session.report.ok
         finally:
             session.close()
+
+
+def test_batch_crash_matrix_is_all_or_nothing(tmp_path):
+    """Kill a batched workload at every traced I/O operation.  Because a
+    ``maybe`` state only ever differs from ``committed`` by one *whole*
+    batch, the membership assertion proves group-commit atomicity: the
+    recovered warehouse never holds a strict subset of a batch, and
+    never misses a batch that was acknowledged."""
+    probe_dir = os.path.join(str(tmp_path), "probe")
+    state, _, fault, tracer = _run_workload(
+        probe_dir, plan=None,
+        steps_fn=_batch_workload_steps, rows=_BATCH_ROWS,
+    )
+    assert fault is None
+    trace = tracer.trace
+    assert trace, "fault tracer saw no I/O operations"
+    clean_snapshot, clean_report = _recovered_snapshot(probe_dir)
+    assert clean_snapshot == state
+    # Both post-checkpoint batches replay, each as a single OP_BATCH.
+    assert clean_report.applied_batches == 2
+
+    matrix = []
+    for index, (site, kind) in enumerate(trace, start=1):
+        matrix.append((index, site, "crash"))
+        if kind == "write":
+            matrix.append((index, site, "torn"))
+
+    for fail_at, site, mode in matrix:
+        directory = os.path.join(
+            str(tmp_path), "batch-%d-%s" % (fail_at, mode)
+        )
+        committed, maybe, fault, _ = _run_workload(
+            directory, FaultPlan(fail_at=fail_at, mode=mode),
+            steps_fn=_batch_workload_steps, rows=_BATCH_ROWS,
+        )
+        assert fault is not None, (
+            "plan (%d, %s) at site %s never fired" % (fail_at, mode, site)
+        )
+        recovered, report = _recovered_snapshot(directory)
+        assert recovered in (committed, maybe), (
+            "fault at op %d (%s, %s): recovered %r, acknowledged %r, "
+            "with in-flight batch %r"
+            % (fail_at, site, mode, dict(recovered), dict(committed),
+               dict(maybe))
+        )
+        session = DurableWarehouse.open(directory)
+        try:
+            assert _snapshot(session.warehouse) == recovered
+            assert session.report.ok
+        finally:
+            session.close()
+
+
+def test_batch_replay_counts_batches(tmp_path):
+    """An acknowledged batch survives a crash as one OP_BATCH replay."""
+    directory = str(tmp_path / "batchcount")
+    warehouse = _toy_warehouse()
+    schema = warehouse.schema
+    records = [toy_record(schema, *row) for row in _BATCH_ROWS]
+    session = DurableWarehouse.create(directory, warehouse)
+    session.insert_record(records[0])
+    session.insert_records(records[1:5])
+    session.insert_records(records[5:8])
+    _drop_dead(session)
+    recovered, report = _recovered_snapshot(directory)
+    assert report.applied_batches == 2
+    assert report.applied_inserts == 8
+    assert sum(recovered.values()) == 8
 
 
 def test_clean_shutdown_reopens_identically(tmp_path):

@@ -1,11 +1,15 @@
 """Stateful (model-based) fuzzing of the DC-tree.
 
 A hypothesis rule machine drives a DC-tree through arbitrary interleaved
-operations — inserts, deletes, range queries, group-bys, summaries —
-against a trivial in-memory model (a list of records).  After every step
-the tree must agree with the model; at the end, the deep invariant audit
-must pass.  This is the test that catches cross-operation interactions
-no scenario test thinks of.
+operations — inserts, batched inserts, deletes, maintenance-window-style
+mixed bursts, range queries, group-bys, summaries — against a trivial
+in-memory model (a list of records).  After every step the tree must
+agree with the model; the result cache rides along (enabled in the
+machine's config), so every model comparison doubles as a cache-
+freshness check — a batch that failed to bump ``tree_version`` would
+serve a stale memoized answer and diverge from the model immediately.
+At the end, the deep invariant audit must pass.  This is the test that
+catches cross-operation interactions no scenario test thinks of.
 """
 
 import math
@@ -42,7 +46,9 @@ class DCTreeMachine(RuleBasedStateMachine):
         self.schema = build_toy_schema()
         self.tree = DCTree(
             self.schema,
-            config=DCTreeConfig(dir_capacity=4, leaf_capacity=4),
+            config=DCTreeConfig(
+                dir_capacity=4, leaf_capacity=4, use_result_cache=True,
+            ),
         )
         self.model = []
         self.query_seed = 0
@@ -54,6 +60,38 @@ class DCTreeMachine(RuleBasedStateMachine):
         record = toy_record(self.schema, *row)
         self.tree.insert(record)
         self.model.append(record)
+
+    @rule(rows=st.lists(row_strategy, min_size=1, max_size=12))
+    def batch_insert(self, rows):
+        """One amortized batch; must bump the version exactly once."""
+        records = [toy_record(self.schema, *row) for row in rows]
+        version = self.tree.tree_version
+        assert self.tree.insert_batch(records) == len(records)
+        assert self.tree.tree_version == version + 1
+        self.model.extend(records)
+
+    @rule(
+        rows=st.lists(row_strategy, min_size=1, max_size=8),
+        delete_positions=st.lists(
+            st.integers(min_value=0, max_value=10**6), max_size=3
+        ),
+    )
+    def maintenance_window(self, rows, delete_positions):
+        """A batch-regime window: queued deletes flush between insert runs
+        (mirrors BatchWarehouse.run_maintenance_window's batching)."""
+        run = [toy_record(self.schema, *row) for row in rows]
+        half = len(run) // 2
+        if half:
+            self.tree.insert_batch(run[:half])
+            self.model.extend(run[:half])
+        for position in delete_positions:
+            if not self.model:
+                break
+            record = self.model.pop(position % len(self.model))
+            self.tree.delete(record)
+        if run[half:]:
+            self.tree.insert_batch(run[half:])
+            self.model.extend(run[half:])
 
     @precondition(lambda self: self.model)
     @rule(index=st.integers(min_value=0, max_value=10**6))

@@ -9,6 +9,7 @@ import pytest
 
 from repro import StorageError
 from repro.persist.wal import (
+    OP_BATCH,
     OP_DELETE,
     OP_INSERT,
     WAL_HEADER,
@@ -170,6 +171,39 @@ def test_crash_injection_writes_nothing(tmp_path):
     scan = read_wal(path)
     assert not scan.torn_tail
     assert [record[2] for record in scan.records] == ["first"]
+
+
+def test_torn_batch_append_drops_the_whole_batch(tmp_path):
+    """A group commit is one length-prefixed, checksummed record, so a
+    tear mid-append can never expose a prefix of the batch: replay keeps
+    everything before the OP_BATCH record and none of the batch."""
+    path = _wal_path(tmp_path)
+    faults = FaultInjector(FaultPlan(fail_at=2, mode="torn",
+                                     site="wal.append"))
+    with WriteAheadLog(path, fsync_interval=1, faults=faults) as wal:
+        wal.append(OP_INSERT, ["solo"])
+        with pytest.raises(InjectedFault):
+            wal.append(OP_BATCH, [["a"], ["b"], ["c"], ["d"]])
+    scan = read_wal(path)
+    assert scan.torn_tail
+    assert [(record[1], record[2]) for record in scan.records] == [
+        (OP_INSERT, ["solo"])
+    ]
+    assert not any(record[1] == OP_BATCH for record in scan.records)
+
+
+def test_batch_group_commit_is_one_append_one_fsync(tmp_path):
+    """The acknowledged-batch durability cost: a single WAL append and,
+    at fsync_interval=1, a single fsync for the whole batch."""
+    faults = FaultInjector()
+    with WriteAheadLog(_wal_path(tmp_path), fsync_interval=1,
+                       faults=faults) as wal:
+        wal.append(OP_BATCH, [["a"], ["b"], ["c"], ["d"]])
+        appends = [site for site, _ in faults.trace
+                   if site == "wal.append"]
+        syncs = [site for site, _ in faults.trace if site == "wal.fsync"]
+        assert len(appends) == 1
+        assert len(syncs) == 1
 
 
 def test_negative_fsync_interval_rejected(tmp_path):
